@@ -1,0 +1,101 @@
+// Figure 3: REC-K curves of the exact (baseline) ranking on the three
+// datasets. Reproduces the trade-off that motivates small K: REC exceeds
+// ~0.95 at K around 0.05, so inspecting <10% of the pairs suffices.
+//
+// Also prints the §III context statistics: average pairs per window and
+// polyonymous rate per dataset.
+
+#include <iostream>
+#include <set>
+
+#include "bench_util.h"
+#include "tmerge/core/table_printer.h"
+#include "tmerge/merge/baseline.h"
+#include "tmerge/reid/feature_cache.h"
+
+namespace tmerge::bench {
+namespace {
+
+void Run() {
+  const std::vector<double> ks = {0.01, 0.02, 0.03, 0.05, 0.075, 0.1,
+                                  0.15, 0.2};
+  core::TablePrinter table(
+      {"dataset", "K=0.01", "K=0.02", "K=0.03", "K=0.05", "K=0.075", "K=0.10",
+       "K=0.15", "K=0.20"});
+  core::TablePrinter stats(
+      {"dataset", "videos", "windows", "pairs/window", "poly pairs",
+       "poly rate %"});
+
+  struct Spec {
+    sim::DatasetProfile profile;
+    std::int32_t videos;
+  };
+  for (Spec spec : {Spec{sim::DatasetProfile::kMot17Like, 5},
+                    Spec{sim::DatasetProfile::kKittiLike, 5},
+                    Spec{sim::DatasetProfile::kPathTrackLike, 2}}) {
+    BenchEnv env = PrepareEnv(spec.profile, spec.videos);
+
+    // Full exact ranking per window (BL with K = 1), then REC at each K
+    // prefix, micro-averaged over all windows against the full truth.
+    std::vector<std::int64_t> hits(ks.size(), 0);
+    std::int64_t truth_total = 0;
+    std::int64_t windows = 0;
+    merge::SelectorOptions options;
+    options.k_fraction = 1.0;
+    merge::BaselineSelector baseline;
+    for (const auto& prepared : env.prepared) {
+      std::set<metrics::TrackPairKey> truth(prepared.truth.begin(),
+                                            prepared.truth.end());
+      truth_total += static_cast<std::int64_t>(truth.size());
+      reid::FeatureCache cache;
+      for (const auto& window : prepared.windows) {
+        if (window.pairs.empty()) continue;
+        ++windows;
+        merge::PairContext context(prepared.tracking, window.pairs);
+        merge::SelectionResult ranked =
+            baseline.Select(context, *prepared.model, cache, options);
+        for (std::size_t k_index = 0; k_index < ks.size(); ++k_index) {
+          std::size_t take = merge::TopKCount(ks[k_index], window.pairs.size());
+          for (std::size_t i = 0; i < take; ++i) {
+            if (truth.contains(ranked.candidates[i])) ++hits[k_index];
+          }
+        }
+      }
+    }
+
+    table.AddRow().AddCell(env.name);
+    for (std::size_t k_index = 0; k_index < ks.size(); ++k_index) {
+      double rec = truth_total > 0
+                       ? static_cast<double>(hits[k_index]) / truth_total
+                       : 1.0;
+      table.AddNumber(rec, 3);
+    }
+    stats.AddRow()
+        .AddCell(env.name)
+        .AddInt(spec.videos)
+        .AddInt(windows)
+        .AddNumber(windows > 0 ? static_cast<double>(env.TotalPairs()) / windows
+                               : 0.0,
+                   1)
+        .AddInt(env.TotalTruth())
+        .AddNumber(env.TotalPairs() > 0
+                       ? 100.0 * env.TotalTruth() / env.TotalPairs()
+                       : 0.0,
+                   2);
+  }
+
+  std::cout << "=== Figure 3: REC-K curves of the exact ranking (BL) ===\n";
+  table.Print(std::cout);
+  std::cout << "\n--- dataset statistics (paper SIII context) ---\n";
+  stats.Print(std::cout);
+  std::cout << "\nExpected shape: REC rises steeply and exceeds ~0.9-0.95 by "
+               "K = 0.05-0.085 on every dataset.\n";
+}
+
+}  // namespace
+}  // namespace tmerge::bench
+
+int main() {
+  tmerge::bench::Run();
+  return 0;
+}

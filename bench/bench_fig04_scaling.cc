@@ -1,0 +1,67 @@
+// Figure 4: runtime and accumulated track pairs of the brute-force baseline
+// as video length grows (PathTrack-like videos, L = 2000 windows).
+// Reproduces the motivating scaling wall: both time and pairs grow
+// super-linearly with video length.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "tmerge/core/table_printer.h"
+#include "tmerge/merge/baseline.h"
+#include "tmerge/track/sort_tracker.h"
+
+namespace tmerge::bench {
+namespace {
+
+void Run() {
+  core::TablePrinter table({"frames", "minutes", "tracks", "pairs",
+                            "box-pairs", "BL sim-seconds", "BL wall-seconds"});
+
+  // One long video, processed at growing prefixes (the paper feeds a single
+  // lengthening video to Algorithm 1).
+  sim::SyntheticVideo full = sim::GenerateVideo(
+      sim::ProfileConfig(sim::DatasetProfile::kPathTrackLike), /*seed=*/4242);
+  for (std::int32_t frames : {600, 1200, 1800, 2400, 3000, 3600}) {
+    sim::SyntheticVideo video = sim::TruncateVideo(full, frames);
+
+    track::SortTracker tracker;
+    merge::PipelineConfig pipeline;
+    pipeline.window.length = 2000;
+    merge::PreparedVideo prepared =
+        merge::PrepareVideo(video, tracker, pipeline);
+
+    merge::BaselineSelector baseline;
+    merge::SelectorOptions options;
+    options.k_fraction = 0.05;
+    merge::EvalResult eval =
+        merge::EvaluateSelector(prepared, baseline, options);
+
+    std::int64_t box_pairs = 0;
+    for (const auto& window : prepared.windows) {
+      merge::PairContext context(prepared.tracking, window.pairs);
+      box_pairs += context.TotalBoxPairs();
+    }
+    table.AddRow()
+        .AddInt(frames)
+        .AddNumber(frames / (30.0 * 60.0), 1)
+        .AddInt(static_cast<long long>(prepared.tracking.tracks.size()))
+        .AddInt(prepared.TotalPairs())
+        .AddInt(box_pairs)
+        .AddNumber(eval.simulated_seconds, 2)
+        .AddNumber(eval.wall_seconds, 3);
+  }
+
+  std::cout << "=== Figure 4: BL cost vs video length (PathTrack-like, "
+               "L=2000) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: pair count and runtime grow dramatically "
+               "and synchronously with video length.\n";
+}
+
+}  // namespace
+}  // namespace tmerge::bench
+
+int main() {
+  tmerge::bench::Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) of the hot operations underneath the
+// selectors: Beta sampling, Hungarian assignment, Kalman filtering,
+// synthetic ReID embedding + distance, and one TMerge Thompson round.
+
+#include <benchmark/benchmark.h>
+
+#include "tmerge/core/beta.h"
+#include "tmerge/core/rng.h"
+#include "tmerge/merge/pair_store.h"
+#include "tmerge/reid/synthetic_reid_model.h"
+#include "tmerge/sim/video_generator.h"
+#include "tmerge/track/hungarian.h"
+#include "tmerge/track/kalman_filter.h"
+
+namespace tmerge {
+namespace {
+
+void BM_BetaSample(benchmark::State& state) {
+  core::Rng rng(1);
+  core::BetaPosterior beta(3.0, 7.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(beta.Sample(rng));
+  }
+}
+BENCHMARK(BM_BetaSample);
+
+void BM_ThompsonRound(benchmark::State& state) {
+  // One TMerge iteration's dominant bookkeeping: drawing a theta per live
+  // pair and taking the arg-min.
+  const std::int64_t pairs = state.range(0);
+  core::Rng rng(2);
+  std::vector<core::BetaPosterior> bandits(pairs);
+  for (auto _ : state) {
+    double best = 2.0;
+    std::size_t arg = 0;
+    for (std::size_t p = 0; p < bandits.size(); ++p) {
+      double theta = bandits[p].Sample(rng);
+      if (theta < best) {
+        best = theta;
+        arg = p;
+      }
+    }
+    benchmark::DoNotOptimize(arg);
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_ThompsonRound)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Rng rng(3);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& cell : row) cell = rng.Uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(track::SolveAssignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_KalmanPredictUpdate(benchmark::State& state) {
+  track::KalmanBoxFilter filter({100, 100, 50, 120});
+  core::BoundingBox observed{102, 100, 50, 120};
+  for (auto _ : state) {
+    filter.Predict();
+    filter.Update(observed);
+  }
+}
+BENCHMARK(BM_KalmanPredictUpdate);
+
+void BM_ReidEmbed(benchmark::State& state) {
+  sim::VideoConfig config;
+  config.num_frames = 60;
+  config.initial_objects = 4;
+  config.min_track_length = 30;
+  config.max_track_length = 50;
+  sim::SyntheticVideo video = sim::GenerateVideo(config, 4);
+  reid::SyntheticReidModel model(video, {}, 5);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    reid::CropRef crop{seed, 0, 1.0, false, seed};
+    benchmark::DoNotOptimize(model.Embed(crop));
+    ++seed;
+  }
+}
+BENCHMARK(BM_ReidEmbed);
+
+void BM_FeatureDistance(benchmark::State& state) {
+  core::Rng rng(6);
+  reid::FeatureVector a(16), b(16);
+  for (auto& v : a) v = rng.Normal(0, 1);
+  for (auto& v : b) v = rng.Normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reid::FeatureDistance(a, b));
+  }
+}
+BENCHMARK(BM_FeatureDistance);
+
+void BM_BoxPairSampler(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    merge::BoxPairSampler sampler(100, 100);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(sampler.Sample(rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BoxPairSampler);
+
+}  // namespace
+}  // namespace tmerge
+
+BENCHMARK_MAIN();

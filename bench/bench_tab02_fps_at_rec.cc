@@ -1,0 +1,77 @@
+// Table II: FPS of BL, PS, LCB and TMerge (plain and batched with B = 10
+// and B = 100) on the MOT-17-like dataset at two REC operating points.
+// The paper uses REC = 0.80 (mid-curve) and REC = 0.93 (near its exact-
+// ranking ceiling of ~0.95); this reproduction's ceiling is ~0.91, so the
+// equivalent operating points here are REC = 0.80 and REC = 0.88. FPS values are linearly
+// interpolated from each method's REC-FPS curve; "-" marks a method that
+// never reaches the target (as BL at 0.80 in the paper, whose exact
+// ranking starts above it).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "tmerge/core/table_printer.h"
+#include "tmerge/metrics/recall.h"
+
+namespace tmerge::bench {
+namespace {
+
+std::string FpsCell(const std::vector<CurvePoint>& points,
+                    const std::string& method, double target) {
+  std::vector<metrics::RecFpsPoint> curve = CurveOf(points, method);
+  double fps = metrics::FpsAtRecall(curve, target);
+  if (fps <= 0.0) return "-";
+  return core::FormatFixed(fps, 2);
+}
+
+void Run() {
+  BenchEnv env = PrepareEnv(sim::DatasetProfile::kMot17Like, 5);
+
+  MethodSweepConfig plain;
+  plain.ps_etas = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+  plain.bandit_taus = {500, 1000, 2000, 5000, 10000, 20000, 40000};
+  std::vector<CurvePoint> unbatched = SweepMethods(env, plain);
+
+  MethodSweepConfig b10 = plain;
+  b10.batch_size = 10;
+  std::vector<CurvePoint> batched10 = SweepMethods(env, b10);
+
+  MethodSweepConfig b100 = plain;
+  b100.batch_size = 100;
+  std::vector<CurvePoint> batched100 = SweepMethods(env, b100);
+
+  std::cout << "=== Table II: FPS at REC=0.80 and REC=0.88 (MOT-17-like) "
+               "===\n";
+  core::TablePrinter table({"method", "REC=0.80", "REC=0.88"});
+  for (const char* method : {"BL", "PS", "LCB", "TMerge"}) {
+    table.AddRow()
+        .AddCell(method)
+        .AddCell(FpsCell(unbatched, method, 0.80))
+        .AddCell(FpsCell(unbatched, method, 0.88));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n--- batched variants ---\n";
+  core::TablePrinter batched_table({"method", "B=10 REC=0.80", "B=10 REC=0.88",
+                                    "B=100 REC=0.80", "B=100 REC=0.88"});
+  for (const char* method : {"BL-B", "PS-B", "LCB-B", "TMerge-B"}) {
+    batched_table.AddRow()
+        .AddCell(method)
+        .AddCell(FpsCell(batched10, method, 0.80))
+        .AddCell(FpsCell(batched10, method, 0.88))
+        .AddCell(FpsCell(batched100, method, 0.80))
+        .AddCell(FpsCell(batched100, method, 0.88));
+  }
+  batched_table.Print(std::cout);
+  std::cout << "\nExpected shape: TMerge > LCB > PS > BL at both operating "
+               "points; TMerge-B(100) > TMerge-B(10) >> TMerge; LCB-B gains "
+               "little over LCB.\n";
+}
+
+}  // namespace
+}  // namespace tmerge::bench
+
+int main() {
+  tmerge::bench::Run();
+  return 0;
+}

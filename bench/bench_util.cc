@@ -1,0 +1,152 @@
+#include "bench_util.h"
+
+#include <memory>
+
+#include "tmerge/merge/baseline.h"
+#include "tmerge/merge/lcb.h"
+#include "tmerge/merge/proportional.h"
+#include "tmerge/merge/tmerge.h"
+#include "tmerge/track/appearance_tracker.h"
+#include "tmerge/track/regression_tracker.h"
+#include "tmerge/track/sort_tracker.h"
+
+namespace tmerge::bench {
+
+std::int64_t BenchEnv::TotalFrames() const {
+  std::int64_t total = 0;
+  for (const auto& video : dataset->videos) total += video.num_frames;
+  return total;
+}
+
+std::int64_t BenchEnv::TotalPairs() const {
+  std::int64_t total = 0;
+  for (const auto& video : prepared) total += video.TotalPairs();
+  return total;
+}
+
+std::int64_t BenchEnv::TotalTruth() const {
+  std::int64_t total = 0;
+  for (const auto& video : prepared) {
+    total += static_cast<std::int64_t>(video.truth.size());
+  }
+  return total;
+}
+
+const char* TrackerKindName(TrackerKind kind) {
+  switch (kind) {
+    case TrackerKind::kSort:
+      return "SORT";
+    case TrackerKind::kAppearance:
+      return "DeepSORT";
+    case TrackerKind::kRegression:
+      return "Tracktor";
+  }
+  return "unknown";
+}
+
+BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
+                              std::int32_t num_videos, TrackerKind tracker,
+                              const merge::WindowConfig& window,
+                              std::uint64_t seed) {
+  BenchEnv env;
+  env.name = sim::DatasetProfileName(profile);
+  env.dataset = std::make_unique<sim::Dataset>(
+      sim::MakeDataset(profile, num_videos, seed));
+
+  merge::PipelineConfig config;
+  config.window = window;
+  config.seed = seed ^ 0xBEEFULL;
+
+  env.prepared.reserve(num_videos);
+  for (std::size_t v = 0; v < env.dataset->videos.size(); ++v) {
+    merge::PipelineConfig per_video = config;
+    per_video.seed = config.seed + 31 * (v + 1);
+    const sim::SyntheticVideo& video = env.dataset->videos[v];
+    // The appearance tracker needs a ReID model for this video. Build a
+    // throwaway one with the same seeding PrepareVideo will use.
+    if (tracker == TrackerKind::kAppearance) {
+      reid::SyntheticReidModel model(video, reid::ReidModelConfig{},
+                                     per_video.seed);
+      track::AppearanceTracker appearance(&model);
+      env.prepared.push_back(merge::PrepareVideo(video, appearance, per_video));
+    } else if (tracker == TrackerKind::kRegression) {
+      track::RegressionTracker regression;
+      env.prepared.push_back(merge::PrepareVideo(video, regression, per_video));
+    } else {
+      track::SortTracker sort_tracker;
+      env.prepared.push_back(merge::PrepareVideo(video, sort_tracker, per_video));
+    }
+  }
+  return env;
+}
+
+BenchEnv PrepareEnv(sim::DatasetProfile profile, std::int32_t num_videos,
+                    TrackerKind tracker, std::int32_t window_length,
+                    std::uint64_t seed) {
+  merge::WindowConfig window;
+  window.single_window = profile != sim::DatasetProfile::kPathTrackLike;
+  window.length = window_length;
+  return PrepareEnvWithWindow(profile, num_videos, tracker, window, seed);
+}
+
+std::vector<CurvePoint> SweepMethods(const BenchEnv& env,
+                                     const MethodSweepConfig& config) {
+  std::vector<CurvePoint> points;
+  merge::SelectorOptions options;
+  options.k_fraction = config.k_fraction;
+  options.batch_size = config.batch_size;
+  options.seed = config.seed;
+  const char* suffix = config.batch_size > 1 ? "-B" : "";
+
+  auto record = [&](const std::string& method, double parameter,
+                    merge::CandidateSelector& selector) {
+    merge::EvalResult eval = merge::EvaluateSelectorAveraged(
+        env.prepared, selector, options, config.trials);
+    CurvePoint point;
+    point.method = method;
+    point.parameter = parameter;
+    point.rec = eval.rec;
+    point.fps = eval.fps;
+    point.simulated_seconds = eval.simulated_seconds;
+    point.inferences = eval.usage.TotalInferences();
+    point.distances = eval.usage.distance_evals;
+    points.push_back(point);
+  };
+
+  if (config.include_bl) {
+    merge::BaselineSelector baseline;
+    record(std::string("BL") + suffix, 0.0, baseline);
+  }
+  if (config.include_ps) {
+    for (double eta : config.ps_etas) {
+      merge::ProportionalSelector ps(eta);
+      record(std::string("PS") + suffix, eta, ps);
+    }
+  }
+  if (config.include_lcb) {
+    for (std::int64_t tau : config.bandit_taus) {
+      merge::LcbSelector lcb(tau);
+      record(std::string("LCB") + suffix, static_cast<double>(tau), lcb);
+    }
+  }
+  if (config.include_tmerge) {
+    for (std::int64_t tau : config.bandit_taus) {
+      merge::TMergeOptions tmerge_options;
+      tmerge_options.tau_max = tau;
+      merge::TMergeSelector tmerge(tmerge_options);
+      record(std::string("TMerge") + suffix, static_cast<double>(tau), tmerge);
+    }
+  }
+  return points;
+}
+
+std::vector<metrics::RecFpsPoint> CurveOf(const std::vector<CurvePoint>& points,
+                                          const std::string& method) {
+  std::vector<metrics::RecFpsPoint> curve;
+  for (const auto& point : points) {
+    if (point.method == method) curve.push_back({point.rec, point.fps});
+  }
+  return curve;
+}
+
+}  // namespace tmerge::bench

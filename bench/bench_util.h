@@ -1,0 +1,86 @@
+#ifndef TMERGE_BENCH_BENCH_UTIL_H_
+#define TMERGE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tmerge/merge/pipeline.h"
+#include "tmerge/metrics/recall.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::bench {
+
+/// A dataset plus its prepared per-video state (tracking, windows, truth),
+/// computed once per bench binary and reused across sweeps. Owns the videos
+/// that PreparedVideo points into.
+struct BenchEnv {
+  std::string name;
+  std::unique_ptr<sim::Dataset> dataset;
+  std::vector<merge::PreparedVideo> prepared;
+
+  std::int64_t TotalFrames() const;
+  std::int64_t TotalPairs() const;
+  std::int64_t TotalTruth() const;
+};
+
+/// Which tracker feeds the pipeline.
+enum class TrackerKind { kSort, kAppearance, kRegression };
+
+const char* TrackerKindName(TrackerKind kind);
+
+/// Prepares a profile's benchmark environment: generates `num_videos`
+/// videos, runs detection + tracking, builds windows and ground truth.
+/// MOT-17/KITTI profiles use whole-video windows; PathTrack uses
+/// half-overlapping windows of `window_length` (paper §V-A).
+BenchEnv PrepareEnv(sim::DatasetProfile profile, std::int32_t num_videos,
+                    TrackerKind tracker = TrackerKind::kSort,
+                    std::int32_t window_length = 2000,
+                    std::uint64_t seed = 424242);
+
+/// Variant that forces the windowing mode regardless of profile.
+BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
+                              std::int32_t num_videos, TrackerKind tracker,
+                              const merge::WindowConfig& window,
+                              std::uint64_t seed = 424242);
+
+/// One point of a method's trade-off curve, with bookkeeping.
+struct CurvePoint {
+  std::string method;
+  double parameter = 0.0;  ///< eta for PS, tau_max for LCB/TMerge, 0 for BL.
+  double rec = 0.0;
+  double fps = 0.0;
+  double simulated_seconds = 0.0;
+  std::int64_t inferences = 0;
+  std::int64_t distances = 0;
+};
+
+/// The methods of §V-B. `batch_size` 1 = plain; >1 = the "-B" variant.
+struct MethodSweepConfig {
+  double k_fraction = 0.05;
+  std::int32_t batch_size = 1;
+  std::vector<double> ps_etas = {0.003, 0.01, 0.03, 0.1, 0.3};
+  std::vector<std::int64_t> bandit_taus = {500, 1500, 5000, 15000};
+  bool include_bl = true;
+  bool include_ps = true;
+  bool include_lcb = true;
+  bool include_tmerge = true;
+  std::uint64_t seed = 11;
+  /// Independent trials averaged per point (the paper averages 10).
+  int trials = 3;
+};
+
+/// Sweeps every requested method over the environment, producing REC-FPS
+/// curve points (Figs. 5-6 and Table II's raw material).
+std::vector<CurvePoint> SweepMethods(const BenchEnv& env,
+                                     const MethodSweepConfig& config);
+
+/// Extracts one method's (REC, FPS) curve from sweep output.
+std::vector<metrics::RecFpsPoint> CurveOf(const std::vector<CurvePoint>& points,
+                                          const std::string& method);
+
+}  // namespace tmerge::bench
+
+#endif  // TMERGE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+#include "tmerge/core/geometry.h"
+
+#include <algorithm>
+
+namespace tmerge::core {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double IntersectionArea(const BoundingBox& a, const BoundingBox& b) {
+  double left = std::max(a.x, b.x);
+  double top = std::max(a.y, b.y);
+  double right = std::min(a.Right(), b.Right());
+  double bottom = std::min(a.Bottom(), b.Bottom());
+  if (right <= left || bottom <= top) return 0.0;
+  return (right - left) * (bottom - top);
+}
+
+double Iou(const BoundingBox& a, const BoundingBox& b) {
+  if (!a.IsValid() || !b.IsValid()) return 0.0;
+  double inter = IntersectionArea(a, b);
+  double uni = a.Area() + b.Area() - inter;
+  if (uni <= 0.0) return 0.0;
+  return inter / uni;
+}
+
+double CoverageFraction(const BoundingBox& a, const BoundingBox& b) {
+  if (!a.IsValid()) return 0.0;
+  return IntersectionArea(a, b) / a.Area();
+}
+
+BoundingBox ClampToFrame(const BoundingBox& box, double frame_width,
+                         double frame_height) {
+  double left = std::clamp(box.x, 0.0, frame_width);
+  double top = std::clamp(box.y, 0.0, frame_height);
+  double right = std::clamp(box.Right(), 0.0, frame_width);
+  double bottom = std::clamp(box.Bottom(), 0.0, frame_height);
+  return {left, top, std::max(0.0, right - left), std::max(0.0, bottom - top)};
+}
+
+}  // namespace tmerge::core

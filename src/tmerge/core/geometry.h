@@ -1,0 +1,54 @@
+#ifndef TMERGE_CORE_GEOMETRY_H_
+#define TMERGE_CORE_GEOMETRY_H_
+
+#include <cmath>
+
+namespace tmerge::core {
+
+/// A 2D point in pixel coordinates (x rightward, y downward).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// An axis-aligned bounding box in pixel coordinates: (x, y) is the top-left
+/// corner, width/height extend right/down. This is the BBox of the paper's
+/// notation b^m_{c,k} (geometry only; the *content* of a BBox is modeled by
+/// sim::BoxObservation).
+struct BoundingBox {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  /// Center point Phi(b) used by BetaInit's spatial distance (paper §IV-C).
+  Point Center() const { return {x + width / 2.0, y + height / 2.0}; }
+
+  double Area() const { return width * height; }
+  double Right() const { return x + width; }
+  double Bottom() const { return y + height; }
+
+  /// True if width and height are both positive.
+  bool IsValid() const { return width > 0.0 && height > 0.0; }
+};
+
+/// Area of the intersection of two boxes (0 if disjoint).
+double IntersectionArea(const BoundingBox& a, const BoundingBox& b);
+
+/// Intersection-over-union in [0, 1]; 0 when either box is degenerate.
+double Iou(const BoundingBox& a, const BoundingBox& b);
+
+/// Fraction of `a`'s area covered by `b`, in [0, 1].
+double CoverageFraction(const BoundingBox& a, const BoundingBox& b);
+
+/// Clamps the box to the [0,0]-(frame_width,frame_height) rectangle. The
+/// result may be degenerate (zero area) when the box lies fully outside.
+BoundingBox ClampToFrame(const BoundingBox& box, double frame_width,
+                         double frame_height);
+
+}  // namespace tmerge::core
+
+#endif  // TMERGE_CORE_GEOMETRY_H_

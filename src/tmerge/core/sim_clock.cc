@@ -1,0 +1,4 @@
+#include "tmerge/core/sim_clock.h"
+
+// SimClock and WallTimer are header-only; this translation unit exists so
+// the target has a stable archive member for the module.

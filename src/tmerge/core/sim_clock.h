@@ -1,0 +1,54 @@
+#ifndef TMERGE_CORE_SIM_CLOCK_H_
+#define TMERGE_CORE_SIM_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tmerge::core {
+
+/// Accumulator for *simulated* time. The expensive operations of the paper's
+/// pipeline (ReID inference, batched GPU inference, distance evaluation) do
+/// not exist in this reproduction, so the cost model (reid/cost_model.h)
+/// charges deterministic durations to a SimClock instead. FPS figures are
+/// computed against this clock, making benches reproducible and
+/// hardware-independent while preserving the relative cost structure.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Charges `seconds` of simulated time. Negative charges are ignored.
+  void Advance(double seconds) {
+    if (seconds > 0.0) elapsed_seconds_ += seconds;
+  }
+
+  /// Total simulated seconds accumulated so far.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  /// Resets the clock to zero.
+  void Reset() { elapsed_seconds_ = 0.0; }
+
+ private:
+  double elapsed_seconds_ = 0.0;
+};
+
+/// Simple wall-clock stopwatch for reporting real bookkeeping overhead
+/// alongside simulated model time.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tmerge::core
+
+#endif  // TMERGE_CORE_SIM_CLOCK_H_

@@ -1,0 +1,69 @@
+#include "tmerge/core/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::core {
+
+std::string FormatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TMERGE_CHECK(!headers_.empty());
+}
+
+TablePrinter& TablePrinter::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(std::string value) {
+  TMERGE_CHECK(!rows_.empty());
+  TMERGE_CHECK(rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddNumber(double value, int precision) {
+  return AddCell(FormatFixed(value, precision));
+}
+
+TablePrinter& TablePrinter::AddInt(long long value) {
+  return AddCell(std::to_string(value));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ");
+      os << cell;
+      for (std::size_t pad = cell.size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tmerge::core

@@ -1,0 +1,48 @@
+#ifndef TMERGE_CORE_TABLE_PRINTER_H_
+#define TMERGE_CORE_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tmerge::core {
+
+/// Column-aligned console table writer used by the bench binaries to print
+/// the rows/series the paper reports. Cells are strings; numeric helpers
+/// format with fixed precision. The table is buffered and rendered on
+/// Print() so column widths can be computed from the data.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  TablePrinter& AddRow();
+
+  /// Appends a string cell to the current row.
+  TablePrinter& AddCell(std::string value);
+
+  /// Appends a fixed-precision numeric cell.
+  TablePrinter& AddNumber(double value, int precision = 3);
+
+  /// Appends an integer cell.
+  TablePrinter& AddInt(long long value);
+
+  /// Renders the table (with a header separator) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` decimals (helper shared by
+/// benches for inline reporting).
+std::string FormatFixed(double value, int precision);
+
+}  // namespace tmerge::core
+
+#endif  // TMERGE_CORE_TABLE_PRINTER_H_

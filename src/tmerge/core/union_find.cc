@@ -1,0 +1,41 @@
+#include "tmerge/core/union_find.h"
+
+#include <numeric>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::core {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), set_count_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::Find(std::size_t x) {
+  TMERGE_CHECK(x < parent_.size());
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(std::size_t a, std::size_t b) {
+  std::size_t ra = Find(a);
+  std::size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --set_count_;
+  return true;
+}
+
+bool UnionFind::Connected(std::size_t a, std::size_t b) {
+  return Find(a) == Find(b);
+}
+
+}  // namespace tmerge::core

@@ -1,0 +1,42 @@
+#ifndef TMERGE_CORE_UNION_FIND_H_
+#define TMERGE_CORE_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tmerge::core {
+
+/// Disjoint-set forest with union-by-rank and path compression. Used by the
+/// track merger to coalesce polyonymous track IDs (a chain of accepted pairs
+/// (a,b), (b,c) collapses a, b, c into one merged identity).
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets with elements 0..n-1.
+  explicit UnionFind(std::size_t n);
+
+  /// Returns the canonical representative of `x`'s set.
+  std::size_t Find(std::size_t x);
+
+  /// Merges the sets containing `a` and `b`. Returns true if they were
+  /// previously distinct.
+  bool Union(std::size_t a, std::size_t b);
+
+  /// True if `a` and `b` are in the same set.
+  bool Connected(std::size_t a, std::size_t b);
+
+  /// Number of elements.
+  std::size_t size() const { return parent_.size(); }
+
+  /// Current number of disjoint sets.
+  std::size_t set_count() const { return set_count_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t set_count_;
+};
+
+}  // namespace tmerge::core
+
+#endif  // TMERGE_CORE_UNION_FIND_H_

@@ -1,0 +1,102 @@
+#include "tmerge/detect/detection_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmerge/core/rng.h"
+#include "tmerge/core/status.h"
+
+namespace tmerge::detect {
+
+std::int64_t DetectionSequence::TotalDetections() const {
+  std::int64_t total = 0;
+  for (const auto& frame : frames) {
+    total += static_cast<std::int64_t>(frame.detections.size());
+  }
+  return total;
+}
+
+DetectionSequence SimulateDetections(const sim::SyntheticVideo& video,
+                                     const DetectorConfig& config,
+                                     std::uint64_t seed) {
+  core::Rng rng(seed ^ 0xDE7EC7ULL);
+  DetectionSequence sequence;
+  sequence.num_frames = video.num_frames;
+  sequence.frame_width = video.frame_width;
+  sequence.frame_height = video.frame_height;
+  sequence.fps = video.fps;
+  sequence.frames.resize(video.num_frames);
+  for (std::int32_t f = 0; f < video.num_frames; ++f) {
+    sequence.frames[f].frame = f;
+  }
+
+  std::uint64_t next_detection_id = 1;
+
+  for (const auto& track : video.tracks) {
+    for (const auto& gt_box : track.boxes) {
+      double detect_prob;
+      if (gt_box.visibility < config.visibility_threshold) {
+        // Heavily occluded: mostly missed, slightly more likely near the
+        // threshold than when fully hidden.
+        detect_prob = config.occluded_detect_prob *
+                      (gt_box.visibility / config.visibility_threshold);
+      } else {
+        detect_prob = config.base_detect_prob;
+      }
+      if (gt_box.glared) {
+        detect_prob *= (1.0 - config.glare_miss_prob);
+      }
+      if (!rng.Bernoulli(detect_prob)) continue;
+
+      Detection detection;
+      detection.detection_id = next_detection_id++;
+      detection.frame = gt_box.frame;
+      detection.gt_id = track.id;
+      detection.visibility = gt_box.visibility;
+      detection.glared = gt_box.glared;
+      detection.noise_seed = rng.engine()();
+
+      const core::BoundingBox& box = gt_box.box;
+      double jitter_x = rng.Normal(0.0, config.position_noise * box.width);
+      double jitter_y = rng.Normal(0.0, config.position_noise * box.height);
+      double scale_w = std::exp(rng.Normal(0.0, config.size_noise));
+      double scale_h = std::exp(rng.Normal(0.0, config.size_noise));
+      core::BoundingBox noisy{box.x + jitter_x, box.y + jitter_y,
+                              box.width * scale_w, box.height * scale_h};
+      detection.box =
+          core::ClampToFrame(noisy, video.frame_width, video.frame_height);
+      if (!detection.box.IsValid()) continue;
+
+      detection.confidence = std::clamp(
+          gt_box.visibility * config.base_detect_prob +
+              rng.Normal(0.0, config.confidence_noise),
+          0.05, 1.0);
+      sequence.frames[gt_box.frame].detections.push_back(std::move(detection));
+    }
+  }
+
+  // False positives: short-lived spurious boxes at random locations.
+  for (std::int32_t f = 0; f < video.num_frames; ++f) {
+    int false_positives = rng.Poisson(config.false_positive_rate);
+    for (int i = 0; i < false_positives; ++i) {
+      Detection detection;
+      detection.detection_id = next_detection_id++;
+      detection.frame = f;
+      detection.gt_id = sim::kNoObject;
+      detection.visibility = 1.0;
+      detection.noise_seed = rng.engine()();
+      double w = rng.Uniform(25.0, 110.0);
+      double h = w * rng.Uniform(1.5, 3.0);
+      detection.box = core::ClampToFrame(
+          {rng.Uniform(0.0, video.frame_width - w),
+           rng.Uniform(0.0, video.frame_height - h), w, h},
+          video.frame_width, video.frame_height);
+      if (!detection.box.IsValid()) continue;
+      detection.confidence = std::clamp(rng.Uniform(0.1, 0.6), 0.05, 1.0);
+      sequence.frames[f].detections.push_back(std::move(detection));
+    }
+  }
+  return sequence;
+}
+
+}  // namespace tmerge::detect

@@ -1,0 +1,82 @@
+#ifndef TMERGE_DETECT_DETECTION_SIMULATOR_H_
+#define TMERGE_DETECT_DETECTION_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/sim/world.h"
+
+namespace tmerge::detect {
+
+/// One detected object instance in one frame — the analogue of a detector
+/// output (and of the paper's BBox content b^m). Besides the observable
+/// geometry/confidence it carries *hidden* ground-truth fields (gt_id,
+/// visibility, noise_seed) that only the evaluation oracle and the synthetic
+/// ReID model may read; tracking and merging algorithms must not use them.
+struct Detection {
+  /// Unique id across a video; keys the ReID feature cache.
+  std::uint64_t detection_id = 0;
+  std::int32_t frame = 0;
+  core::BoundingBox box;
+  double confidence = 1.0;
+
+  // --- Hidden ground truth (oracle + synthetic ReID model only). ---
+  /// GT object this detection came from; sim::kNoObject for false positives.
+  sim::GtObjectId gt_id = sim::kNoObject;
+  /// Visibility of the GT object when detected (degrades ReID features).
+  double visibility = 1.0;
+  /// Whether glare covered the object (degrades ReID features further).
+  bool glared = false;
+  /// Deterministic seed for this observation's ReID feature noise.
+  std::uint64_t noise_seed = 0;
+};
+
+/// All detections of one frame.
+struct DetectionFrame {
+  std::int32_t frame = 0;
+  std::vector<Detection> detections;
+};
+
+/// Detector output for a whole video.
+struct DetectionSequence {
+  std::int32_t num_frames = 0;
+  double frame_width = 0.0;
+  double frame_height = 0.0;
+  double fps = 30.0;
+  std::vector<DetectionFrame> frames;
+
+  std::int64_t TotalDetections() const;
+};
+
+/// Noise/miss model of the simulated detector.
+struct DetectorConfig {
+  /// BBox center jitter as a fraction of box size.
+  double position_noise = 0.03;
+  /// BBox size jitter as a (log-)fraction of box size.
+  double size_noise = 0.03;
+  /// Detection probability for a fully visible object.
+  double base_detect_prob = 0.98;
+  /// Below this visibility the object counts as occluded: detection
+  /// probability drops to `occluded_detect_prob`. This is the mechanism
+  /// that fragments tracks (the paper's Fig. 1 scenario).
+  double visibility_threshold = 0.35;
+  double occluded_detect_prob = 0.12;
+  /// Probability that glare suppresses an otherwise-visible detection.
+  double glare_miss_prob = 0.92;
+  /// Expected false positives per frame.
+  double false_positive_rate = 0.08;
+  /// Confidence noise stddev.
+  double confidence_noise = 0.05;
+};
+
+/// Converts ground truth into noisy detector output: jittered boxes, misses
+/// under occlusion/glare, and false positives. Deterministic given
+/// (video, config, seed).
+DetectionSequence SimulateDetections(const sim::SyntheticVideo& video,
+                                     const DetectorConfig& config,
+                                     std::uint64_t seed);
+
+}  // namespace tmerge::detect
+
+#endif  // TMERGE_DETECT_DETECTION_SIMULATOR_H_

@@ -1,0 +1,271 @@
+#include "tmerge/io/mot_format.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tmerge::io {
+namespace {
+
+// Splits one CSV line into fields (no quoting — MOT files never quote).
+std::vector<std::string_view> SplitCsv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ParseDouble(std::string_view field, double& out) {
+  // std::from_chars<double> handles leading '-' but not leading spaces.
+  while (!field.empty() && field.front() == ' ') field.remove_prefix(1);
+  auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                   out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool ParseInt(std::string_view field, std::int64_t& out) {
+  while (!field.empty() && field.front() == ' ') field.remove_prefix(1);
+  auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                   out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+std::string LineError(std::size_t line_number, const std::string& message) {
+  return "line " + std::to_string(line_number) + ": " + message;
+}
+
+}  // namespace
+
+std::uint64_t MotDetectionId(std::int32_t frame, track::TrackId tid) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(frame))
+          << 32) |
+         static_cast<std::uint32_t>(tid);
+}
+
+void WriteTracks(const track::TrackingResult& result, std::ostream& os) {
+  struct Row {
+    std::int32_t frame;
+    track::TrackId tid;
+    const track::TrackedBox* box;
+  };
+  std::vector<Row> rows;
+  rows.reserve(result.TotalBoxes());
+  for (const auto& track : result.tracks) {
+    for (const auto& box : track.boxes) {
+      rows.push_back({box.frame, track.id, &box});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.frame != b.frame) return a.frame < b.frame;
+    return a.tid < b.tid;
+  });
+  for (const auto& row : rows) {
+    os << (row.frame + 1) << ',' << row.tid << ',' << row.box->box.x << ','
+       << row.box->box.y << ',' << row.box->box.width << ','
+       << row.box->box.height << ',' << row.box->confidence << ",-1,-1,-1\n";
+  }
+}
+
+core::Result<track::TrackingResult> ReadTracks(std::istream& is) {
+  std::map<track::TrackId, std::vector<track::TrackedBox>> by_tid;
+  std::set<std::pair<std::int32_t, track::TrackId>> seen;
+  std::int32_t max_frame = -1;
+  double max_right = 0.0, max_bottom = 0.0;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields = SplitCsv(line);
+    if (fields.size() < 7) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "expected >= 7 fields"));
+    }
+    std::int64_t frame1 = 0, tid = 0;
+    double left = 0, top = 0, width = 0, height = 0, confidence = 0;
+    if (!ParseInt(fields[0], frame1) || !ParseInt(fields[1], tid) ||
+        !ParseDouble(fields[2], left) || !ParseDouble(fields[3], top) ||
+        !ParseDouble(fields[4], width) || !ParseDouble(fields[5], height) ||
+        !ParseDouble(fields[6], confidence)) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "malformed field"));
+    }
+    if (frame1 < 1) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "frames are 1-based"));
+    }
+    auto frame = static_cast<std::int32_t>(frame1 - 1);
+    auto track_id = static_cast<track::TrackId>(tid);
+    if (!seen.insert({frame, track_id}).second) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "duplicate (frame, tid) row"));
+    }
+    track::TrackedBox box;
+    box.frame = frame;
+    box.box = {left, top, width, height};
+    box.confidence = confidence;
+    box.detection_id = MotDetectionId(frame, track_id);
+    box.noise_seed = box.detection_id;
+    by_tid[track_id].push_back(box);
+    max_frame = std::max(max_frame, frame);
+    max_right = std::max(max_right, left + width);
+    max_bottom = std::max(max_bottom, top + height);
+  }
+
+  track::TrackingResult result;
+  result.tracker_name = "mot-import";
+  result.num_frames = max_frame + 1;
+  result.frame_width = max_right;
+  result.frame_height = max_bottom;
+  for (auto& [tid, boxes] : by_tid) {
+    std::sort(boxes.begin(), boxes.end(),
+              [](const track::TrackedBox& a, const track::TrackedBox& b) {
+                return a.frame < b.frame;
+              });
+    track::Track track;
+    track.id = tid;
+    track.boxes = std::move(boxes);
+    result.tracks.push_back(std::move(track));
+  }
+  return result;
+}
+
+void WriteGroundTruth(const sim::SyntheticVideo& video, std::ostream& os) {
+  for (const auto& track : video.tracks) {
+    for (const auto& gt_box : track.boxes) {
+      os << (gt_box.frame + 1) << ',' << track.id << ',' << gt_box.box.x
+         << ',' << gt_box.box.y << ',' << gt_box.box.width << ','
+         << gt_box.box.height << ",1,1," << gt_box.visibility << '\n';
+    }
+  }
+}
+
+core::Result<sim::SyntheticVideo> ReadGroundTruth(std::istream& is) {
+  std::map<sim::GtObjectId, std::vector<sim::GroundTruthBox>> by_id;
+  std::int32_t max_frame = -1;
+  double max_right = 0.0, max_bottom = 0.0;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields = SplitCsv(line);
+    if (fields.size() < 6) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "expected >= 6 fields"));
+    }
+    std::int64_t frame1 = 0, id = 0;
+    double left = 0, top = 0, width = 0, height = 0;
+    if (!ParseInt(fields[0], frame1) || !ParseInt(fields[1], id) ||
+        !ParseDouble(fields[2], left) || !ParseDouble(fields[3], top) ||
+        !ParseDouble(fields[4], width) || !ParseDouble(fields[5], height)) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "malformed field"));
+    }
+    double visibility = 1.0;
+    if (fields.size() >= 9 && !ParseDouble(fields[8], visibility)) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "malformed visibility"));
+    }
+    if (frame1 < 1) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "frames are 1-based"));
+    }
+    sim::GroundTruthBox box;
+    box.frame = static_cast<std::int32_t>(frame1 - 1);
+    box.box = {left, top, width, height};
+    box.visibility = visibility;
+    by_id[static_cast<sim::GtObjectId>(id)].push_back(box);
+    max_frame = std::max(max_frame, box.frame);
+    max_right = std::max(max_right, left + width);
+    max_bottom = std::max(max_bottom, top + height);
+  }
+
+  sim::SyntheticVideo video;
+  video.name = "mot-import";
+  video.num_frames = max_frame + 1;
+  video.frame_width = max_right;
+  video.frame_height = max_bottom;
+  for (auto& [id, boxes] : by_id) {
+    std::sort(boxes.begin(), boxes.end(),
+              [](const sim::GroundTruthBox& a, const sim::GroundTruthBox& b) {
+                return a.frame < b.frame;
+              });
+    for (std::size_t i = 1; i < boxes.size(); ++i) {
+      if (boxes[i].frame != boxes[i - 1].frame + 1) {
+        return core::Status::InvalidArgument(
+            "GT track " + std::to_string(id) +
+            " is not on consecutive frames (gap after frame " +
+            std::to_string(boxes[i - 1].frame + 1) + ")");
+      }
+    }
+    sim::GroundTruthTrack track;
+    track.id = id;
+    track.boxes = std::move(boxes);
+    video.tracks.push_back(std::move(track));
+  }
+  return video;
+}
+
+core::Result<std::unordered_map<std::uint64_t, reid::FeatureVector>>
+ReadFeatureTable(std::istream& is) {
+  std::unordered_map<std::uint64_t, reid::FeatureVector> features;
+  std::size_t dim = 0;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields = SplitCsv(line);
+    if (fields.size() < 3) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "expected frame,tid,f0,..."));
+    }
+    std::int64_t frame1 = 0, tid = 0;
+    if (!ParseInt(fields[0], frame1) || !ParseInt(fields[1], tid) ||
+        frame1 < 1) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "malformed frame/tid"));
+    }
+    reid::FeatureVector feature(fields.size() - 2);
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      if (!ParseDouble(fields[i], feature[i - 2])) {
+        return core::Status::InvalidArgument(
+            LineError(line_number, "malformed feature value"));
+      }
+    }
+    if (dim == 0) {
+      dim = feature.size();
+    } else if (feature.size() != dim) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "inconsistent feature dimension"));
+    }
+    std::uint64_t key = MotDetectionId(static_cast<std::int32_t>(frame1 - 1),
+                                       static_cast<track::TrackId>(tid));
+    if (!features.emplace(key, std::move(feature)).second) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "duplicate (frame, tid) feature row"));
+    }
+  }
+  if (features.empty()) {
+    return core::Status::InvalidArgument("empty feature table");
+  }
+  return features;
+}
+
+}  // namespace tmerge::io

@@ -1,0 +1,78 @@
+#ifndef TMERGE_IO_MOT_FORMAT_H_
+#define TMERGE_IO_MOT_FORMAT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "tmerge/core/status.h"
+#include "tmerge/reid/feature.h"
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::io {
+
+/// Serialization in the MOTChallenge text format, the lingua franca of
+/// multi-object tracking data. This is the adoption path for real data:
+/// export a real tracker's output and a feature table (embeddings from a
+/// real ReID network, keyed per box), then run the merging algorithms on
+/// them via reid::PrecomputedReidModel.
+///
+/// Result rows:  frame,id,bb_left,bb_top,bb_width,bb_height,conf,-1,-1,-1
+/// GT rows:      frame,id,bb_left,bb_top,bb_width,bb_height,1,1,visibility
+/// Frames are 1-based on disk (MOT convention) and 0-based in memory.
+
+/// Deterministic detection id for a (frame, tid) row, shared by the track
+/// reader and the feature-table reader so features join correctly.
+std::uint64_t MotDetectionId(std::int32_t frame, track::TrackId tid);
+
+/// Writes tracker output in MOT result format, rows sorted by frame then
+/// TID.
+void WriteTracks(const track::TrackingResult& result, std::ostream& os);
+
+/// Parses MOT result format into a TrackingResult. Boxes are grouped by
+/// TID and sorted by frame; detection ids come from MotDetectionId. Rows
+/// must be well-formed; duplicate (frame, tid) rows are rejected.
+core::Result<track::TrackingResult> ReadTracks(std::istream& is);
+
+/// Writes ground truth in MOT GT format (with the visibility column).
+void WriteGroundTruth(const sim::SyntheticVideo& video, std::ostream& os);
+
+/// Parses MOT GT format into a SyntheticVideo usable by the evaluation
+/// oracle (GT matching, metrics, query recall). Each GT track must occupy
+/// consecutive frames; appearance vectors are left empty, so the result
+/// supports evaluation but not the synthetic ReID model.
+core::Result<sim::SyntheticVideo> ReadGroundTruth(std::istream& is);
+
+/// Writes a feature table: one row per tracked box,
+/// `frame,tid,f0,f1,...,fD`. Features are produced by `embed`, a callable
+/// (const track::TrackedBox&) -> reid::FeatureVector.
+template <typename EmbedFn>
+void WriteFeatureTable(const track::TrackingResult& result, EmbedFn&& embed,
+                       std::ostream& os);
+
+/// Parses a feature table into the map PrecomputedReidModel consumes,
+/// keyed by MotDetectionId(frame, tid). All rows must have equal feature
+/// dimension.
+core::Result<std::unordered_map<std::uint64_t, reid::FeatureVector>>
+ReadFeatureTable(std::istream& is);
+
+// --- Implementation details only below here. ---
+
+template <typename EmbedFn>
+void WriteFeatureTable(const track::TrackingResult& result, EmbedFn&& embed,
+                       std::ostream& os) {
+  for (const auto& track : result.tracks) {
+    for (const auto& box : track.boxes) {
+      reid::FeatureVector feature = embed(box);
+      os << (box.frame + 1) << ',' << track.id;
+      for (double v : feature) os << ',' << v;
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace tmerge::io
+
+#endif  // TMERGE_IO_MOT_FORMAT_H_

@@ -1,0 +1,79 @@
+#include "tmerge/merge/baseline.h"
+
+#include <vector>
+
+#include "tmerge/core/sim_clock.h"
+
+namespace tmerge::merge {
+
+SelectionResult BaselineSelector::Select(const PairContext& context,
+                                         const reid::ReidModel& model,
+                                         reid::FeatureCache& cache,
+                                         const SelectorOptions& options) {
+  core::WallTimer timer;
+  reid::InferenceMeter meter(options.cost_model);
+  const bool batched = options.batch_size > 1;
+
+  SelectionResult result;
+  last_scores_.assign(context.num_pairs(), 0.0);
+
+  // Embed every involved crop. Batched mode groups `batch_size` track
+  // pairs per GPU call (the paper's B = track pairs jointly evaluated).
+  auto embed_track = [&](const std::vector<track::TrackedBox>& boxes,
+                         std::vector<const reid::FeatureVector*>& out) {
+    out.clear();
+    out.reserve(boxes.size());
+    for (const auto& box : boxes) {
+      out.push_back(&cache.GetOrEmbed(MakeCropRef(box), model, meter));
+    }
+  };
+  auto embed_tracks_batched = [&](std::size_t first_pair,
+                                  std::size_t last_pair) {
+    std::vector<reid::CropRef> crops;
+    for (std::size_t p = first_pair; p < last_pair; ++p) {
+      for (const auto& box : context.BoxesA(p)) crops.push_back(MakeCropRef(box));
+      for (const auto& box : context.BoxesB(p)) crops.push_back(MakeCropRef(box));
+    }
+    cache.GetOrEmbedBatch(crops, model, meter);
+  };
+
+  std::size_t chunk = batched ? static_cast<std::size_t>(options.batch_size)
+                              : context.num_pairs();
+  if (chunk == 0) chunk = 1;
+  for (std::size_t begin = 0; begin < context.num_pairs(); begin += chunk) {
+    std::size_t end = std::min(begin + chunk, context.num_pairs());
+    if (batched) embed_tracks_batched(begin, end);
+
+    for (std::size_t p = begin; p < end; ++p) {
+      std::vector<const reid::FeatureVector*> features_a, features_b;
+      embed_track(context.BoxesA(p), features_a);
+      embed_track(context.BoxesB(p), features_b);
+
+      double sum = 0.0;
+      std::int64_t count = 0;
+      for (const auto* fa : features_a) {
+        for (const auto* fb : features_b) {
+          sum += model.NormalizedDistance(*fa, *fb);
+          ++count;
+        }
+      }
+      if (batched) {
+        meter.ChargeDistanceBatched(count);
+      } else {
+        meter.ChargeDistance(count);
+      }
+      result.box_pairs_evaluated += count;
+      last_scores_[p] = count > 0 ? sum / static_cast<double>(count) : 1.0;
+    }
+  }
+
+  result.candidates = internal::TopKByScore(
+      context, last_scores_,
+      TopKCount(options.k_fraction, context.num_pairs()));
+  result.simulated_seconds = meter.elapsed_seconds();
+  result.usage = meter.stats();
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace tmerge::merge

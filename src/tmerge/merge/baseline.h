@@ -1,0 +1,35 @@
+#ifndef TMERGE_MERGE_BASELINE_H_
+#define TMERGE_MERGE_BASELINE_H_
+
+#include <string>
+
+#include "tmerge/merge/selector.h"
+
+namespace tmerge::merge {
+
+/// Algorithm 1 of the paper (BL): extracts ReID features for *every* BBox
+/// involved in P_c, computes *all* pairwise BBox distances per track pair,
+/// scores each pair by the mean (Def. 3.1), and returns the K lowest. Exact
+/// but quadratic in boxes — the approach whose cost Figs. 3-4 motivate
+/// replacing. With options.batch_size > 1 this is BL-B: crops are embedded
+/// in GPU batches and distances take the batched path.
+class BaselineSelector : public CandidateSelector {
+ public:
+  SelectionResult Select(const PairContext& context,
+                         const reid::ReidModel& model,
+                         reid::FeatureCache& cache,
+                         const SelectorOptions& options) override;
+
+  std::string name() const override { return "BL"; }
+
+  /// Exact track-pair scores from the last Select call (test hook; indexed
+  /// like context.pairs()).
+  const std::vector<double>& last_scores() const { return last_scores_; }
+
+ private:
+  std::vector<double> last_scores_;
+};
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_BASELINE_H_

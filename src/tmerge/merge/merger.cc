@@ -1,0 +1,87 @@
+#include "tmerge/merge/merger.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "tmerge/core/union_find.h"
+
+namespace tmerge::merge {
+
+std::vector<metrics::TrackPairKey> OracleFilter(
+    const std::vector<metrics::TrackPairKey>& candidates,
+    const std::vector<metrics::TrackPairKey>& truth) {
+  std::set<metrics::TrackPairKey> truth_set(truth.begin(), truth.end());
+  std::vector<metrics::TrackPairKey> accepted;
+  for (const auto& pair : candidates) {
+    if (truth_set.contains(pair)) accepted.push_back(pair);
+  }
+  return accepted;
+}
+
+track::TrackingResult ApplyMerges(
+    const track::TrackingResult& result,
+    const std::vector<metrics::TrackPairKey>& accepted_pairs) {
+  std::unordered_map<track::TrackId, std::size_t> index_of;
+  for (std::size_t i = 0; i < result.tracks.size(); ++i) {
+    index_of.emplace(result.tracks[i].id, i);
+  }
+
+  core::UnionFind groups(result.tracks.size());
+  for (const auto& [a, b] : accepted_pairs) {
+    auto ita = index_of.find(a);
+    auto itb = index_of.find(b);
+    if (ita == index_of.end() || itb == index_of.end()) continue;
+    groups.Union(ita->second, itb->second);
+  }
+
+  // Collect members per group root, then emit one merged track per group.
+  std::map<std::size_t, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < result.tracks.size(); ++i) {
+    members[groups.Find(i)].push_back(i);
+  }
+
+  track::TrackingResult merged;
+  merged.tracker_name = result.tracker_name + "+merge";
+  merged.num_frames = result.num_frames;
+  merged.frame_width = result.frame_width;
+  merged.frame_height = result.frame_height;
+  merged.fps = result.fps;
+  merged.tracks.reserve(members.size());
+
+  for (const auto& [root, indices] : members) {
+    track::Track out;
+    out.id = result.tracks[indices.front()].id;
+    std::size_t total = 0;
+    for (std::size_t i : indices) {
+      out.id = std::min(out.id, result.tracks[i].id);
+      total += result.tracks[i].boxes.size();
+    }
+    out.boxes.reserve(total);
+    for (std::size_t i : indices) {
+      const auto& boxes = result.tracks[i].boxes;
+      out.boxes.insert(out.boxes.end(), boxes.begin(), boxes.end());
+    }
+    std::sort(out.boxes.begin(), out.boxes.end(),
+              [](const track::TrackedBox& a, const track::TrackedBox& b) {
+                if (a.frame != b.frame) return a.frame < b.frame;
+                return a.confidence > b.confidence;
+              });
+    // Drop duplicate boxes on the same frame (keep the most confident).
+    auto last = std::unique(out.boxes.begin(), out.boxes.end(),
+                            [](const track::TrackedBox& a,
+                               const track::TrackedBox& b) {
+                              return a.frame == b.frame;
+                            });
+    out.boxes.erase(last, out.boxes.end());
+    merged.tracks.push_back(std::move(out));
+  }
+  std::sort(merged.tracks.begin(), merged.tracks.end(),
+            [](const track::Track& a, const track::Track& b) {
+              return a.id < b.id;
+            });
+  return merged;
+}
+
+}  // namespace tmerge::merge

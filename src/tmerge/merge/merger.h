@@ -1,0 +1,30 @@
+#ifndef TMERGE_MERGE_MERGER_H_
+#define TMERGE_MERGE_MERGER_H_
+
+#include <vector>
+
+#include "tmerge/metrics/gt_matcher.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::merge {
+
+/// Keeps only the candidate pairs that the inspection step confirms as
+/// truly polyonymous. In the paper the candidates are "optionally subject
+/// to further human inspection"; the evaluation oracle (GT matching) plays
+/// the inspector here. Pass the full GT polyonymous set as `truth`.
+std::vector<metrics::TrackPairKey> OracleFilter(
+    const std::vector<metrics::TrackPairKey>& candidates,
+    const std::vector<metrics::TrackPairKey>& truth);
+
+/// Applies accepted merges: tracks connected through accepted pairs
+/// (transitively, via union-find) are fused into one track carrying the
+/// smallest TID of the group, with boxes ordered by frame. When two boxes
+/// share a frame (duplicate boxes at a fragmentation boundary), the higher-
+/// confidence one is kept. Pairs naming unknown TIDs are ignored.
+track::TrackingResult ApplyMerges(
+    const track::TrackingResult& result,
+    const std::vector<metrics::TrackPairKey>& accepted_pairs);
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_MERGER_H_

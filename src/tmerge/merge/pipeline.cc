@@ -1,0 +1,169 @@
+#include "tmerge/merge/pipeline.h"
+
+#include <set>
+
+#include "tmerge/core/status.h"
+#include "tmerge/metrics/recall.h"
+#include "tmerge/reid/feature_cache.h"
+
+namespace tmerge::merge {
+
+std::int64_t PreparedVideo::TotalPairs() const {
+  std::int64_t total = 0;
+  for (const auto& window : windows) {
+    total += static_cast<std::int64_t>(window.pairs.size());
+  }
+  return total;
+}
+
+PreparedVideo PrepareVideo(const sim::SyntheticVideo& video,
+                           track::Tracker& tracker,
+                           const PipelineConfig& config) {
+  PreparedVideo prepared;
+  prepared.video = &video;
+  detect::DetectionSequence detections =
+      detect::SimulateDetections(video, config.detector, config.seed);
+  prepared.tracking = tracker.Run(detections);
+  prepared.model = std::make_shared<reid::SyntheticReidModel>(
+      video, config.reid, config.seed);
+  prepared.windows = BuildWindows(prepared.tracking, config.window);
+  prepared.assignment =
+      metrics::MatchTracksToGt(video, prepared.tracking, config.gt_match);
+  prepared.truth =
+      metrics::PolyonymousPairs(prepared.tracking, prepared.assignment);
+  return prepared;
+}
+
+std::vector<PreparedVideo> PrepareDataset(const sim::Dataset& dataset,
+                                          track::Tracker& tracker,
+                                          const PipelineConfig& config) {
+  std::vector<PreparedVideo> prepared;
+  prepared.reserve(dataset.videos.size());
+  for (std::size_t i = 0; i < dataset.videos.size(); ++i) {
+    PipelineConfig per_video = config;
+    per_video.seed = config.seed + 31 * (i + 1);
+    prepared.push_back(PrepareVideo(dataset.videos[i], tracker, per_video));
+  }
+  return prepared;
+}
+
+EvalResult EvaluateSelector(const PreparedVideo& prepared,
+                            CandidateSelector& selector,
+                            const SelectorOptions& options) {
+  TMERGE_CHECK(prepared.video != nullptr);
+  EvalResult eval;
+  eval.frames = prepared.video->num_frames;
+  eval.truth_pairs = static_cast<std::int64_t>(prepared.truth.size());
+
+  std::set<metrics::TrackPairKey> truth_set(prepared.truth.begin(),
+                                            prepared.truth.end());
+  std::set<metrics::TrackPairKey> selected;
+
+  reid::FeatureCache cache;
+  SelectorOptions window_options = options;
+  for (const auto& window : prepared.windows) {
+    if (window.pairs.empty()) continue;
+    PairContext context(prepared.tracking, window.pairs);
+    // Per-window seed derivation keeps windows decorrelated but runs
+    // reproducible.
+    window_options.seed = options.seed + 1009 * (window.window_index + 1);
+    SelectionResult result =
+        selector.Select(context, *prepared.model, cache, window_options);
+    eval.simulated_seconds += result.simulated_seconds;
+    eval.wall_seconds += result.wall_seconds;
+    eval.usage += result.usage;
+    eval.box_pairs_evaluated += result.box_pairs_evaluated;
+    eval.pairs += static_cast<std::int64_t>(window.pairs.size());
+    ++eval.windows;
+    for (const auto& pair : result.candidates) selected.insert(pair);
+  }
+
+  for (const auto& pair : selected) {
+    if (truth_set.contains(pair)) ++eval.hits;
+  }
+  eval.candidates.assign(selected.begin(), selected.end());
+  eval.rec = eval.truth_pairs > 0
+                 ? static_cast<double>(eval.hits) / eval.truth_pairs
+                 : 1.0;
+  eval.fps = eval.simulated_seconds > 0.0
+                 ? static_cast<double>(eval.frames) / eval.simulated_seconds
+                 : 0.0;
+  return eval;
+}
+
+EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
+                                    CandidateSelector& selector,
+                                    const SelectorOptions& options) {
+  EvalResult total;
+  for (const auto& prepared : videos) {
+    EvalResult eval = EvaluateSelector(prepared, selector, options);
+    total.simulated_seconds += eval.simulated_seconds;
+    total.wall_seconds += eval.wall_seconds;
+    total.usage += eval.usage;
+    total.box_pairs_evaluated += eval.box_pairs_evaluated;
+    total.frames += eval.frames;
+    total.windows += eval.windows;
+    total.pairs += eval.pairs;
+    total.truth_pairs += eval.truth_pairs;
+    total.hits += eval.hits;
+    total.candidates.insert(total.candidates.end(), eval.candidates.begin(),
+                            eval.candidates.end());
+  }
+  total.rec = total.truth_pairs > 0
+                  ? static_cast<double>(total.hits) / total.truth_pairs
+                  : 1.0;
+  total.fps = total.simulated_seconds > 0.0
+                  ? static_cast<double>(total.frames) / total.simulated_seconds
+                  : 0.0;
+  return total;
+}
+
+EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
+                                    CandidateSelector& selector,
+                                    const SelectorOptions& options,
+                                    int trials) {
+  TMERGE_CHECK(trials > 0);
+  EvalResult mean;
+  for (int trial = 0; trial < trials; ++trial) {
+    SelectorOptions trial_options = options;
+    trial_options.seed = options.seed + 7919 * trial;
+    EvalResult eval =
+        EvaluateSelectorOnVideos(videos, selector, trial_options);
+    if (trial == 0) {
+      mean = eval;
+      continue;
+    }
+    mean.rec += eval.rec;
+    mean.fps += eval.fps;
+    mean.simulated_seconds += eval.simulated_seconds;
+    mean.wall_seconds += eval.wall_seconds;
+    mean.hits += eval.hits;
+    mean.box_pairs_evaluated += eval.box_pairs_evaluated;
+    mean.usage += eval.usage;
+  }
+  mean.rec /= trials;
+  mean.fps /= trials;
+  mean.simulated_seconds /= trials;
+  mean.wall_seconds /= trials;
+  mean.hits /= trials;
+  mean.box_pairs_evaluated /= trials;
+  mean.usage.single_inferences /= trials;
+  mean.usage.batched_crops /= trials;
+  mean.usage.batch_calls /= trials;
+  mean.usage.distance_evals /= trials;
+  mean.usage.cache_hits /= trials;
+  return mean;
+}
+
+track::TrackingResult SelectAndMerge(const PreparedVideo& prepared,
+                                     CandidateSelector& selector,
+                                     const SelectorOptions& options,
+                                     bool oracle_verified) {
+  EvalResult eval = EvaluateSelector(prepared, selector, options);
+  std::vector<metrics::TrackPairKey> accepted =
+      oracle_verified ? OracleFilter(eval.candidates, prepared.truth)
+                      : eval.candidates;
+  return ApplyMerges(prepared.tracking, accepted);
+}
+
+}  // namespace tmerge::merge

@@ -1,0 +1,110 @@
+#ifndef TMERGE_MERGE_PIPELINE_H_
+#define TMERGE_MERGE_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tmerge/detect/detection_simulator.h"
+#include "tmerge/merge/merger.h"
+#include "tmerge/merge/selector.h"
+#include "tmerge/merge/window.h"
+#include "tmerge/metrics/gt_matcher.h"
+#include "tmerge/reid/reid_model.h"
+#include "tmerge/reid/synthetic_reid_model.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::merge {
+
+/// Configuration of the ingestion pipeline up to (but excluding) candidate
+/// selection: detection, tracking input preparation, windowing, ReID model,
+/// and the GT oracle.
+struct PipelineConfig {
+  detect::DetectorConfig detector;
+  WindowConfig window;
+  reid::ReidModelConfig reid;
+  metrics::GtMatchConfig gt_match;
+  std::uint64_t seed = 42;
+};
+
+/// Everything selectors and benches need about one video, computed once and
+/// reused across selector sweeps: the tracking result, ReID model, windowed
+/// pair sets, and the ground-truth polyonymous pairs. Holds a pointer to
+/// the source video, which must outlive it.
+struct PreparedVideo {
+  const sim::SyntheticVideo* video = nullptr;
+  track::TrackingResult tracking;
+  std::shared_ptr<const reid::ReidModel> model;
+  std::vector<WindowPairs> windows;
+  metrics::TrackGtAssignment assignment;
+  /// All true polyonymous pairs of the video (paper Eq. 2, over tracker
+  /// output vs GT). The REC denominator.
+  std::vector<metrics::TrackPairKey> truth;
+
+  /// Total pairs across all windows.
+  std::int64_t TotalPairs() const;
+};
+
+/// Runs detection + the given tracker + windowing + GT matching on a video.
+PreparedVideo PrepareVideo(const sim::SyntheticVideo& video,
+                           track::Tracker& tracker,
+                           const PipelineConfig& config);
+
+/// Prepares every video of a dataset (seed varied per video).
+std::vector<PreparedVideo> PrepareDataset(const sim::Dataset& dataset,
+                                          track::Tracker& tracker,
+                                          const PipelineConfig& config);
+
+/// Aggregated outcome of running one selector over prepared videos.
+struct EvalResult {
+  /// Micro-averaged recall: candidate hits / all true polyonymous pairs
+  /// (so pairs unreachable under the windowing — e.g. when L < 2 L_max —
+  /// count as misses, as in the paper's Fig. 9).
+  double rec = 0.0;
+  /// Frames processed per simulated second (the paper's FPS metric).
+  double fps = 0.0;
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  reid::UsageStats usage;
+  std::int64_t frames = 0;
+  std::int64_t windows = 0;
+  std::int64_t pairs = 0;
+  std::int64_t truth_pairs = 0;
+  std::int64_t hits = 0;
+  std::int64_t box_pairs_evaluated = 0;
+  /// Union of selected candidates across windows (for merging).
+  std::vector<metrics::TrackPairKey> candidates;
+};
+
+/// Runs `selector` over every window of one prepared video. A fresh feature
+/// cache is used per video and shared across its windows (cross-window
+/// reuse mirrors the paper's feature-reuse optimization).
+EvalResult EvaluateSelector(const PreparedVideo& prepared,
+                            CandidateSelector& selector,
+                            const SelectorOptions& options);
+
+/// Runs `selector` over several prepared videos and aggregates.
+EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
+                                    CandidateSelector& selector,
+                                    const SelectorOptions& options);
+
+/// Runs EvaluateSelectorOnVideos `trials` times with derived seeds and
+/// averages REC/FPS/time/counter fields (the paper reports the average of
+/// 10 independent trials per experiment; benches here default to 3).
+/// `candidates` come from the first trial.
+EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
+                                    CandidateSelector& selector,
+                                    const SelectorOptions& options,
+                                    int trials);
+
+/// Convenience: selects candidates with `selector`, confirms them against
+/// the oracle, and returns the merged tracking result for `prepared`.
+track::TrackingResult SelectAndMerge(const PreparedVideo& prepared,
+                                     CandidateSelector& selector,
+                                     const SelectorOptions& options,
+                                     bool oracle_verified = true);
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_PIPELINE_H_

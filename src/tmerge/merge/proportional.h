@@ -1,0 +1,36 @@
+#ifndef TMERGE_MERGE_PROPORTIONAL_H_
+#define TMERGE_MERGE_PROPORTIONAL_H_
+
+#include <string>
+
+#include "tmerge/merge/selector.h"
+
+namespace tmerge::merge {
+
+/// PS comparator (paper §V-B): stratified uniform sampling. Every track
+/// pair (stratum) gets the same sampling fraction eta of its BBox pairs,
+/// the pair score is estimated by the sample mean, and the K lowest
+/// estimates win. Spends effort evenly instead of adaptively — the foil
+/// that shows why bandit allocation matters. batch_size > 1 gives PS-B.
+class ProportionalSelector : public CandidateSelector {
+ public:
+  /// `eta` in (0, 1]: fraction of each pair's BBox pairs to evaluate. At
+  /// eta = 1 PS degenerates to BL (modulo sampling order).
+  explicit ProportionalSelector(double eta);
+
+  SelectionResult Select(const PairContext& context,
+                         const reid::ReidModel& model,
+                         reid::FeatureCache& cache,
+                         const SelectorOptions& options) override;
+
+  std::string name() const override { return "PS"; }
+
+  double eta() const { return eta_; }
+
+ private:
+  double eta_;
+};
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_PROPORTIONAL_H_

@@ -1,0 +1,38 @@
+#include "tmerge/merge/selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::merge {
+
+std::size_t TopKCount(double k_fraction, std::size_t num_pairs) {
+  TMERGE_CHECK(k_fraction >= 0.0 && k_fraction <= 1.0);
+  auto k = static_cast<std::size_t>(
+      std::ceil(k_fraction * static_cast<double>(num_pairs)));
+  return std::min(k, num_pairs);
+}
+
+namespace internal {
+
+std::vector<metrics::TrackPairKey> TopKByScore(
+    const PairContext& context, const std::vector<double>& scores,
+    std::size_t k) {
+  TMERGE_CHECK(scores.size() == context.num_pairs());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+  k = std::min(k, order.size());
+  std::vector<metrics::TrackPairKey> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(context.pair(order[i]));
+  return out;
+}
+
+}  // namespace internal
+}  // namespace tmerge::merge

@@ -1,0 +1,86 @@
+#ifndef TMERGE_MERGE_SELECTOR_H_
+#define TMERGE_MERGE_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmerge/merge/pair_store.h"
+#include "tmerge/reid/cost_model.h"
+#include "tmerge/reid/feature_cache.h"
+#include "tmerge/reid/reid_model.h"
+
+namespace tmerge::merge {
+
+/// Options shared by every candidate selector.
+struct SelectorOptions {
+  /// K in [0, 1]: the selector returns the top ceil(K * |P_c|) candidate
+  /// pairs (paper §II). The paper's default across experiments is 5%.
+  double k_fraction = 0.05;
+  /// Batch size B of the GPU-accelerated "-B" variants; 1 selects the
+  /// unbatched single-inference path.
+  std::int32_t batch_size = 1;
+  /// Simulated hardware costs (see reid/cost_model.h).
+  reid::CostModel cost_model;
+  /// Seed for the selector's own randomness (sampling, Bernoulli trials).
+  std::uint64_t seed = 7;
+};
+
+/// Output of one selector run on one window.
+struct SelectionResult {
+  /// Estimated top-K polyonymous candidates, the paper's P-hat*_{c|K}.
+  std::vector<metrics::TrackPairKey> candidates;
+  /// Simulated model time consumed (drives the FPS metric).
+  double simulated_seconds = 0.0;
+  /// Wall-clock bookkeeping time of the algorithm itself.
+  double wall_seconds = 0.0;
+  /// Operation counters.
+  reid::UsageStats usage;
+  /// BBox-pair distance evaluations performed by the algorithm's sampling
+  /// loop (tau for the bandit methods; all/eta-fraction for BL/PS).
+  std::int64_t box_pairs_evaluated = 0;
+  /// Sum of the normalized distances the sampling loop evaluated. Divided
+  /// by box_pairs_evaluated and compared against the minimum exact score,
+  /// this yields the average regret R(tau_max) of §IV-E (Eq. 11): sampling
+  /// biased toward low-score pairs drives it down as tau grows.
+  double sum_sampled_distance = 0.0;
+  /// Pairs ULB (Algorithm 4) froze as certainly inside / outside the top-K
+  /// (TMerge only; zero for other selectors or with ULB disabled).
+  std::int64_t ulb_pruned_in = 0;
+  std::int64_t ulb_pruned_out = 0;
+};
+
+/// Returns ceil(k_fraction * num_pairs), clamped to [0, num_pairs].
+std::size_t TopKCount(double k_fraction, std::size_t num_pairs);
+
+/// Interface of every polyonymous-candidate selection algorithm (BL, PS,
+/// LCB, TMerge and their batched variants). Selectors are stateless across
+/// calls; the feature cache carries reusable embeddings between windows of
+/// the same video.
+class CandidateSelector {
+ public:
+  virtual ~CandidateSelector() = default;
+
+  /// Selects the top-K candidate pairs of one window.
+  virtual SelectionResult Select(const PairContext& context,
+                                 const reid::ReidModel& model,
+                                 reid::FeatureCache& cache,
+                                 const SelectorOptions& options) = 0;
+
+  /// Display name, e.g. "TMerge" or "BL-B".
+  virtual std::string name() const = 0;
+};
+
+namespace internal {
+
+/// Ranks pairs ascending by score and returns the top-k pair keys, breaking
+/// ties by pair index for determinism.
+std::vector<metrics::TrackPairKey> TopKByScore(
+    const PairContext& context, const std::vector<double>& scores,
+    std::size_t k);
+
+}  // namespace internal
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_SELECTOR_H_

@@ -1,0 +1,92 @@
+#include "tmerge/merge/window.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::merge {
+
+bool PairAdmissible(const track::Track& a, const track::Track& b,
+                    const WindowConfig& config) {
+  if (a.id == b.id) return false;
+  if (a.size() == 0 || b.size() == 0) return false;
+  // Temporal overlap in frames (inclusive span intersection).
+  std::int32_t overlap =
+      std::min(a.last_frame(), b.last_frame()) -
+      std::max(a.first_frame(), b.first_frame()) + 1;
+  if (overlap > config.overlap_tolerance) return false;
+  // Gap between the earlier track's end and the later track's start.
+  std::int32_t gap = std::max(a.first_frame() - b.last_frame(),
+                              b.first_frame() - a.last_frame());
+  if (gap > config.max_gap) return false;
+  return true;
+}
+
+std::vector<WindowPairs> BuildWindows(const track::TrackingResult& result,
+                                      const WindowConfig& config) {
+  std::vector<WindowPairs> windows;
+  if (result.tracks.empty()) return windows;
+
+  const std::int32_t num_frames = result.num_frames;
+  std::int32_t length = config.single_window ? num_frames : config.length;
+  TMERGE_CHECK(length > 0);
+  std::int32_t half = std::max<std::int32_t>(1, length / 2);
+
+  // Bucket tracks by which half-window stride their first frame falls in;
+  // bucket c holds T_{c} (tracks born in [c*half, (c+1)*half)).
+  std::int32_t num_buckets = (num_frames + half - 1) / half;
+  if (config.single_window) num_buckets = 1;
+  std::vector<std::vector<std::size_t>> buckets(num_buckets);
+  for (std::size_t i = 0; i < result.tracks.size(); ++i) {
+    std::int32_t first = result.tracks[i].first_frame();
+    std::int32_t bucket = config.single_window ? 0 : first / half;
+    if (bucket >= num_buckets) bucket = num_buckets - 1;
+    buckets[bucket].push_back(i);
+  }
+
+  auto add_pairs = [&](WindowPairs& window,
+                       const std::vector<std::size_t>& tc,
+                       const std::vector<std::size_t>& prev) {
+    std::set<metrics::TrackPairKey> seen;
+    // Pairs within T_c.
+    for (std::size_t i = 0; i < tc.size(); ++i) {
+      for (std::size_t j = i + 1; j < tc.size(); ++j) {
+        const auto& a = result.tracks[tc[i]];
+        const auto& b = result.tracks[tc[j]];
+        if (PairAdmissible(a, b, config)) {
+          seen.insert(metrics::MakePairKey(a.id, b.id));
+        }
+      }
+    }
+    // Pairs across T_c and T_{c-1}.
+    for (std::size_t i : tc) {
+      for (std::size_t j : prev) {
+        const auto& a = result.tracks[i];
+        const auto& b = result.tracks[j];
+        if (PairAdmissible(a, b, config)) {
+          seen.insert(metrics::MakePairKey(a.id, b.id));
+        }
+      }
+    }
+    window.pairs.assign(seen.begin(), seen.end());
+  };
+
+  static const std::vector<std::size_t> kEmpty;
+  for (std::int32_t c = 0; c < num_buckets; ++c) {
+    WindowPairs window;
+    window.window_index = c;
+    window.start_frame = config.single_window ? 0 : c * half;
+    window.end_frame =
+        std::min(num_frames - 1, window.start_frame + length - 1);
+    window.new_tracks = buckets[c];
+    add_pairs(window, buckets[c], c > 0 ? buckets[c - 1] : kEmpty);
+    // Skip empty windows (no new tracks and no pairs) for compactness.
+    if (!window.new_tracks.empty() || !window.pairs.empty()) {
+      windows.push_back(std::move(window));
+    }
+  }
+  return windows;
+}
+
+}  // namespace tmerge::merge

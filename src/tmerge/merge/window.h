@@ -1,0 +1,59 @@
+#ifndef TMERGE_MERGE_WINDOW_H_
+#define TMERGE_MERGE_WINDOW_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tmerge/metrics/gt_matcher.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::merge {
+
+/// Windowing and pair-generation parameters (paper §II).
+struct WindowConfig {
+  /// Window length L in frames. The paper requires L >= 2 * L_max so no GT
+  /// track spans more than two half-overlapping windows.
+  std::int32_t length = 2000;
+  /// Treat the whole video as a single window (the paper's MOT-17/KITTI
+  /// evaluation mode). When set, `length` is ignored.
+  bool single_window = false;
+  /// Two tracks that coexist in more than this many frames cannot be
+  /// fragments of one GT track (an object cannot be in two places at
+  /// once), so such pairs are excluded from P_c. A small tolerance absorbs
+  /// duplicate boxes at fragmentation boundaries.
+  std::int32_t overlap_tolerance = 2;
+  /// Optional cap on the frame gap between the two tracks of a pair
+  /// (fragmentation happens "in a short period of time", §II). Unlimited
+  /// by default, faithful to Eq. (1).
+  std::int32_t max_gap = std::numeric_limits<std::int32_t>::max();
+};
+
+/// The pair set P_c of one window W_c.
+struct WindowPairs {
+  std::int32_t window_index = 0;
+  std::int32_t start_frame = 0;  ///< First frame of W_c (inclusive).
+  std::int32_t end_frame = 0;    ///< Last frame of W_c (inclusive).
+  /// Indices (into TrackingResult::tracks) of T_c: tracks born in the
+  /// first L/2 frames of this window.
+  std::vector<std::size_t> new_tracks;
+  /// P_c as canonical TID pairs (paper Eq. 1, minus physically impossible
+  /// coexisting pairs — see WindowConfig::overlap_tolerance).
+  std::vector<metrics::TrackPairKey> pairs;
+};
+
+/// Returns true if tracks `a` and `b` may form a pair under `config`
+/// (temporal-coexistence and gap constraints).
+bool PairAdmissible(const track::Track& a, const track::Track& b,
+                    const WindowConfig& config);
+
+/// Partitions a video's tracking result into half-overlapping windows and
+/// builds each window's pair set per Eq. (1): pairs within T_c plus pairs
+/// across T_c and T_{c-1}. Each unordered pair appears in at most one
+/// window.
+std::vector<WindowPairs> BuildWindows(const track::TrackingResult& result,
+                                      const WindowConfig& config);
+
+}  // namespace tmerge::merge
+
+#endif  // TMERGE_MERGE_WINDOW_H_

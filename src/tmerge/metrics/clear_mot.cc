@@ -1,0 +1,143 @@
+#include "tmerge/metrics/clear_mot.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/track/hungarian.h"
+
+namespace tmerge::metrics {
+
+double ClearMotResult::Mota() const {
+  if (gt_boxes == 0) return 0.0;
+  return 1.0 - static_cast<double>(misses + false_positives + id_switches) /
+                   static_cast<double>(gt_boxes);
+}
+
+ClearMotResult ComputeClearMot(const sim::SyntheticVideo& video,
+                               const track::TrackingResult& result,
+                               double iou_threshold) {
+  struct GtRef {
+    sim::GtObjectId gt_id;
+    const core::BoundingBox* box;
+  };
+  struct PredRef {
+    track::TrackId tid;
+    const core::BoundingBox* box;
+  };
+  std::vector<std::vector<GtRef>> gt_by_frame(video.num_frames);
+  for (const auto& gt_track : video.tracks) {
+    for (const auto& gt_box : gt_track.boxes) {
+      gt_by_frame[gt_box.frame].push_back({gt_track.id, &gt_box.box});
+    }
+  }
+  std::vector<std::vector<PredRef>> pred_by_frame(video.num_frames);
+  for (const auto& t : result.tracks) {
+    for (const auto& tracked : t.boxes) {
+      if (tracked.frame >= 0 && tracked.frame < video.num_frames) {
+        pred_by_frame[tracked.frame].push_back({t.id, &tracked.box});
+      }
+    }
+  }
+
+  ClearMotResult out;
+  double iou_sum = 0.0;
+  constexpr double kInfCost = 1e9;
+
+  // Persisted correspondence gt -> tid from the previous frame, plus the
+  // last TID a GT object was *ever* matched to (for ID switch counting) and
+  // whether the object was matched in its previous visible frame (for
+  // fragmentation counting).
+  std::unordered_map<sim::GtObjectId, track::TrackId> current;
+  std::unordered_map<sim::GtObjectId, track::TrackId> last_matched_tid;
+  std::unordered_map<sim::GtObjectId, bool> was_tracked;
+
+  for (std::int32_t frame = 0; frame < video.num_frames; ++frame) {
+    const auto& gts = gt_by_frame[frame];
+    const auto& preds = pred_by_frame[frame];
+    out.gt_boxes += static_cast<std::int64_t>(gts.size());
+
+    std::vector<char> gt_matched(gts.size(), 0);
+    std::vector<char> pred_used(preds.size(), 0);
+
+    // Step 1: keep persisting correspondences that still overlap.
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      auto it = current.find(gts[g].gt_id);
+      if (it == current.end()) continue;
+      for (std::size_t p = 0; p < preds.size(); ++p) {
+        if (pred_used[p] || preds[p].tid != it->second) continue;
+        double iou = core::Iou(*gts[g].box, *preds[p].box);
+        if (iou >= iou_threshold) {
+          gt_matched[g] = 1;
+          pred_used[p] = 1;
+          iou_sum += iou;
+          ++out.matches;
+        }
+        break;
+      }
+    }
+
+    // Step 2: Hungarian matching over the remainder.
+    std::vector<std::size_t> free_gts, free_preds;
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      if (!gt_matched[g]) free_gts.push_back(g);
+    }
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      if (!pred_used[p]) free_preds.push_back(p);
+    }
+    if (!free_gts.empty() && !free_preds.empty()) {
+      std::vector<std::vector<double>> cost(
+          free_gts.size(), std::vector<double>(free_preds.size(), kInfCost));
+      for (std::size_t i = 0; i < free_gts.size(); ++i) {
+        for (std::size_t j = 0; j < free_preds.size(); ++j) {
+          double iou = core::Iou(*gts[free_gts[i]].box,
+                                 *preds[free_preds[j]].box);
+          if (iou >= iou_threshold) cost[i][j] = 1.0 - iou;
+        }
+      }
+      std::vector<int> assignment = track::SolveAssignment(cost);
+      for (std::size_t i = 0; i < free_gts.size(); ++i) {
+        int j = assignment[i];
+        if (j < 0 || cost[i][j] >= kInfCost) continue;
+        std::size_t g = free_gts[i];
+        std::size_t p = free_preds[j];
+        gt_matched[g] = 1;
+        pred_used[p] = 1;
+        iou_sum += 1.0 - cost[i][j];
+        ++out.matches;
+        sim::GtObjectId gt_id = gts[g].gt_id;
+        track::TrackId tid = preds[p].tid;
+        auto last = last_matched_tid.find(gt_id);
+        if (last != last_matched_tid.end() && last->second != tid) {
+          ++out.id_switches;
+        }
+        current[gt_id] = tid;
+      }
+    }
+
+    // Bookkeeping: misses, FPs, fragmentation, and correspondence decay.
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      sim::GtObjectId gt_id = gts[g].gt_id;
+      bool tracked_now = gt_matched[g];
+      auto it = was_tracked.find(gt_id);
+      if (it != was_tracked.end() && it->second && !tracked_now) {
+        ++out.fragmentations;
+      }
+      was_tracked[gt_id] = tracked_now;
+      if (!tracked_now) {
+        ++out.misses;
+        current.erase(gt_id);
+      } else {
+        last_matched_tid[gt_id] = current[gt_id];
+      }
+    }
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      if (!pred_used[p]) ++out.false_positives;
+    }
+  }
+
+  out.motp_iou = out.matches > 0 ? iou_sum / out.matches : 0.0;
+  return out;
+}
+
+}  // namespace tmerge::metrics

@@ -1,0 +1,34 @@
+#ifndef TMERGE_METRICS_CLEAR_MOT_H_
+#define TMERGE_METRICS_CLEAR_MOT_H_
+
+#include <cstdint>
+
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::metrics {
+
+/// CLEAR MOT metrics (Bernardin & Stiefelhagen, 2008) over one video.
+struct ClearMotResult {
+  std::int64_t gt_boxes = 0;          ///< Total ground-truth boxes.
+  std::int64_t matches = 0;           ///< True positive box matches.
+  std::int64_t misses = 0;            ///< False negatives.
+  std::int64_t false_positives = 0;   ///< Predicted boxes matching nothing.
+  std::int64_t id_switches = 0;       ///< GT object changed matched TID.
+  std::int64_t fragmentations = 0;    ///< GT tracked-status interruptions.
+  double motp_iou = 0.0;              ///< Mean IoU over matches.
+
+  /// MOTA = 1 - (misses + false positives + id switches) / gt_boxes.
+  double Mota() const;
+};
+
+/// Computes CLEAR MOT metrics with the standard sequential matching rule:
+/// correspondences persist across frames while IoU stays above
+/// `iou_threshold`; new correspondences are formed by Hungarian matching.
+ClearMotResult ComputeClearMot(const sim::SyntheticVideo& video,
+                               const track::TrackingResult& result,
+                               double iou_threshold = 0.5);
+
+}  // namespace tmerge::metrics
+
+#endif  // TMERGE_METRICS_CLEAR_MOT_H_

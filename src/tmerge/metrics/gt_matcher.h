@@ -1,0 +1,55 @@
+#ifndef TMERGE_METRICS_GT_MATCHER_H_
+#define TMERGE_METRICS_GT_MATCHER_H_
+
+#include <utility>
+#include <vector>
+
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::metrics {
+
+/// An unordered track-pair key: (smaller TID, larger TID).
+using TrackPairKey = std::pair<track::TrackId, track::TrackId>;
+
+/// Canonicalizes a pair of TIDs.
+TrackPairKey MakePairKey(track::TrackId a, track::TrackId b);
+
+/// Result of matching tracker output to ground truth (the role of [30] in
+/// the paper: locating polyonymous tracks by comparing GT tracks to tracker
+/// tracks).
+struct TrackGtAssignment {
+  /// Per tracker-track (indexed as in TrackingResult::tracks): the GT
+  /// object it corresponds to, or sim::kNoObject when unmatched (a false
+  /// track, or one below the majority threshold).
+  std::vector<sim::GtObjectId> track_to_gt;
+  /// Per tracker-track: fraction of its boxes geometrically matched to its
+  /// assigned GT object.
+  std::vector<double> match_fraction;
+};
+
+/// Parameters of GT matching.
+struct GtMatchConfig {
+  /// A tracked box corresponds to a GT box only if their IoU reaches this.
+  double iou_threshold = 0.5;
+  /// A track is assigned to a GT object only if at least this fraction of
+  /// its boxes match that object.
+  double majority_fraction = 0.5;
+};
+
+/// Matches each tracker track to a GT object using per-frame Hungarian
+/// matching on IoU (geometric — does not read hidden gt_id fields),
+/// followed by per-track majority voting.
+TrackGtAssignment MatchTracksToGt(const sim::SyntheticVideo& video,
+                                  const track::TrackingResult& result,
+                                  const GtMatchConfig& config = GtMatchConfig());
+
+/// Derives the ground-truth polyonymous pair set P* (paper Eq. 2): every
+/// unordered pair of distinct tracker tracks assigned to the same GT
+/// object. Sorted ascending.
+std::vector<TrackPairKey> PolyonymousPairs(
+    const track::TrackingResult& result, const TrackGtAssignment& assignment);
+
+}  // namespace tmerge::metrics
+
+#endif  // TMERGE_METRICS_GT_MATCHER_H_

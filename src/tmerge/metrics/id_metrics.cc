@@ -1,0 +1,89 @@
+#include "tmerge/metrics/id_metrics.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/track/hungarian.h"
+
+namespace tmerge::metrics {
+
+IdMetricsResult ComputeIdMetrics(const sim::SyntheticVideo& video,
+                                 const track::TrackingResult& result,
+                                 double iou_threshold) {
+  const std::size_t num_gt = video.tracks.size();
+  const std::size_t num_pred = result.tracks.size();
+
+  // overlap[g][t] = number of frames where GT g and prediction t coexist
+  // with IoU >= threshold. GT boxes are on consecutive frames, so index by
+  // offset from first_frame.
+  std::vector<std::vector<std::int64_t>> overlap(
+      num_gt, std::vector<std::int64_t>(num_pred, 0));
+  for (std::size_t g = 0; g < num_gt; ++g) {
+    const auto& gt_track = video.tracks[g];
+    std::int32_t first = gt_track.first_frame();
+    std::int32_t last = gt_track.last_frame();
+    for (std::size_t t = 0; t < num_pred; ++t) {
+      for (const auto& tracked : result.tracks[t].boxes) {
+        if (tracked.frame < first || tracked.frame > last) continue;
+        const auto& gt_box = gt_track.boxes[tracked.frame - first];
+        if (core::Iou(gt_box.box, tracked.box) >= iou_threshold) {
+          ++overlap[g][t];
+        }
+      }
+    }
+  }
+
+  std::vector<std::int64_t> gt_len(num_gt), pred_len(num_pred);
+  std::int64_t total_gt = 0, total_pred = 0;
+  for (std::size_t g = 0; g < num_gt; ++g) {
+    gt_len[g] = video.tracks[g].length();
+    total_gt += gt_len[g];
+  }
+  for (std::size_t t = 0; t < num_pred; ++t) {
+    pred_len[t] = result.tracks[t].size();
+    total_pred += pred_len[t];
+  }
+
+  // Square cost matrix with dummy rows/columns so every GT trajectory and
+  // every predicted track can remain unmatched at the cost of all its
+  // detections (the construction of Ristani et al., Sec. 8.1).
+  const std::size_t n = num_gt + num_pred;
+  constexpr double kInfCost = 1e12;
+  IdMetricsResult out;
+  if (n == 0) return out;
+
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (std::size_t g = 0; g < num_gt; ++g) {
+    for (std::size_t t = 0; t < num_pred; ++t) {
+      cost[g][t] =
+          static_cast<double>(gt_len[g] + pred_len[t] - 2 * overlap[g][t]);
+    }
+    for (std::size_t d = 0; d < num_gt; ++d) {
+      cost[g][num_pred + d] = (d == g) ? static_cast<double>(gt_len[g])
+                                       : kInfCost;
+    }
+  }
+  for (std::size_t d = 0; d < num_pred; ++d) {
+    for (std::size_t t = 0; t < num_pred; ++t) {
+      cost[num_gt + d][t] = (d == t) ? static_cast<double>(pred_len[t])
+                                     : kInfCost;
+    }
+    // Dummy-to-dummy assignments are free (bottom-right block stays 0).
+  }
+
+  std::vector<int> assignment = track::SolveAssignment(cost);
+  std::int64_t idtp = 0;
+  for (std::size_t g = 0; g < num_gt; ++g) {
+    int col = assignment[g];
+    if (col >= 0 && static_cast<std::size_t>(col) < num_pred) {
+      idtp += overlap[g][col];
+    }
+  }
+  out.idtp = idtp;
+  out.idfp = total_pred - idtp;
+  out.idfn = total_gt - idtp;
+  return out;
+}
+
+}  // namespace tmerge::metrics

@@ -1,0 +1,40 @@
+#ifndef TMERGE_METRICS_ID_METRICS_H_
+#define TMERGE_METRICS_ID_METRICS_H_
+
+#include <cstdint>
+
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::metrics {
+
+/// Identity-based tracking metrics (Ristani et al., ECCV 2016): the metrics
+/// the paper's Fig. 12 reports. Computed from a *global* minimum-cost
+/// bipartite matching between GT trajectories and predicted tracks, so
+/// merging fragmented tracks directly raises IDTP.
+struct IdMetricsResult {
+  std::int64_t idtp = 0;  ///< Identity true positives.
+  std::int64_t idfp = 0;  ///< Identity false positives.
+  std::int64_t idfn = 0;  ///< Identity false negatives.
+
+  double Idp() const {
+    return idtp + idfp > 0 ? static_cast<double>(idtp) / (idtp + idfp) : 0.0;
+  }
+  double Idr() const {
+    return idtp + idfn > 0 ? static_cast<double>(idtp) / (idtp + idfn) : 0.0;
+  }
+  double Idf1() const {
+    std::int64_t denom = 2 * idtp + idfp + idfn;
+    return denom > 0 ? 2.0 * static_cast<double>(idtp) / denom : 0.0;
+  }
+};
+
+/// Computes ID metrics; a predicted box covers a GT box when their IoU
+/// reaches `iou_threshold` in the same frame.
+IdMetricsResult ComputeIdMetrics(const sim::SyntheticVideo& video,
+                                 const track::TrackingResult& result,
+                                 double iou_threshold = 0.5);
+
+}  // namespace tmerge::metrics
+
+#endif  // TMERGE_METRICS_ID_METRICS_H_

@@ -1,0 +1,66 @@
+#include "tmerge/metrics/recall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tmerge::metrics {
+
+double Recall(const std::vector<TrackPairKey>& candidates,
+              const std::vector<TrackPairKey>& truth) {
+  if (truth.empty()) return 1.0;
+  std::set<TrackPairKey> candidate_set(candidates.begin(), candidates.end());
+  std::size_t hit = 0;
+  for (const auto& pair : truth) {
+    if (candidate_set.contains(pair)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double FpsAtRecall(std::vector<RecFpsPoint> curve, double target_rec) {
+  if (curve.empty()) return 0.0;
+  std::sort(curve.begin(), curve.end(),
+            [](const RecFpsPoint& a, const RecFpsPoint& b) {
+              return a.rec < b.rec;
+            });
+  double best = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].rec >= target_rec) {
+      double fps = curve[i].fps;
+      if (i > 0 && curve[i - 1].rec < target_rec &&
+          curve[i].rec > curve[i - 1].rec) {
+        double w = (target_rec - curve[i - 1].rec) /
+                   (curve[i].rec - curve[i - 1].rec);
+        fps = curve[i - 1].fps + w * (curve[i].fps - curve[i - 1].fps);
+      }
+      best = std::max(best, fps);
+    }
+  }
+  return best;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mean_x = Mean(x);
+  double mean_y = Mean(y);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace tmerge::metrics

@@ -1,0 +1,43 @@
+#ifndef TMERGE_METRICS_RECALL_H_
+#define TMERGE_METRICS_RECALL_H_
+
+#include <utility>
+#include <vector>
+
+#include "tmerge/metrics/gt_matcher.h"
+
+namespace tmerge::metrics {
+
+/// REC (paper Eq. 3): fraction of true polyonymous pairs contained in the
+/// candidate set. Returns 1.0 when there are no true pairs (nothing to
+/// miss), matching the paper's per-window averaging convention.
+double Recall(const std::vector<TrackPairKey>& candidates,
+              const std::vector<TrackPairKey>& truth);
+
+/// One point of a REC-vs-FPS trade-off curve.
+struct RecFpsPoint {
+  double rec = 0.0;
+  double fps = 0.0;
+};
+
+/// Interpolates the FPS a method achieves at `target_rec` from its curve
+/// (the lookup used for Table II). Points may be unsorted; the function
+/// sorts by REC. Returns the largest FPS among curve segments reaching the
+/// target, linearly interpolating between bracketing points; returns 0 when
+/// the curve never reaches the target.
+double FpsAtRecall(std::vector<RecFpsPoint> curve, double target_rec);
+
+/// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when
+/// either sample is degenerate (fewer than two points or zero variance).
+/// Used to reproduce the paper's BetaInit design analysis (SIV-C and
+/// footnote 4): track-pair scores correlate with spatial distance
+/// (r >= 0.3) but not with temporal distance (r < 0.1).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace tmerge::metrics
+
+#endif  // TMERGE_METRICS_RECALL_H_

@@ -1,0 +1,53 @@
+#include "tmerge/query/cooccurrence_query.h"
+
+#include <algorithm>
+
+namespace tmerge::query {
+
+std::vector<CoOccurrence> RunCoOccurrenceQuery(const TrackDatabase& db,
+                                               const CoOccurrenceQuery& query) {
+  const auto& records = db.records();
+  const std::size_t n = records.size();
+
+  // Adjacency over pairs with sufficient span overlap; triples are then
+  // triangles of this graph, pruning the O(n^3) enumeration hard.
+  std::vector<std::vector<std::size_t>> adjacent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (records[i].OverlapWith(records[j]) > query.min_frames) {
+        adjacent[i].push_back(j);
+      }
+    }
+  }
+
+  std::vector<CoOccurrence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < adjacent[i].size(); ++a) {
+      std::size_t j = adjacent[i][a];
+      for (std::size_t b = a + 1; b < adjacent[i].size(); ++b) {
+        std::size_t k = adjacent[i][b];
+        // Joint interval of the triple.
+        std::int32_t start = std::max({records[i].first_frame,
+                                       records[j].first_frame,
+                                       records[k].first_frame});
+        std::int32_t end = std::min({records[i].last_frame,
+                                     records[j].last_frame,
+                                     records[k].last_frame});
+        if (end - start + 1 <= query.min_frames) continue;
+        CoOccurrence hit;
+        hit.tids = {records[i].tid, records[j].tid, records[k].tid};
+        std::sort(hit.tids.begin(), hit.tids.end());
+        hit.start_frame = start;
+        hit.end_frame = end;
+        out.push_back(hit);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CoOccurrence& x, const CoOccurrence& y) {
+              return x.tids < y.tids;
+            });
+  return out;
+}
+
+}  // namespace tmerge::query

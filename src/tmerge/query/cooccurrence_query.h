@@ -1,0 +1,38 @@
+#ifndef TMERGE_QUERY_COOCCURRENCE_QUERY_H_
+#define TMERGE_QUERY_COOCCURRENCE_QUERY_H_
+
+#include <array>
+#include <vector>
+
+#include "tmerge/query/track_database.h"
+
+namespace tmerge::query {
+
+/// The paper's *Co-occurring Objects* query (§V-H): video clips longer
+/// than `min_frames` in which the same `group_size` objects appear
+/// jointly. group_size is fixed at 3 as in the paper's experiment.
+struct CoOccurrenceQuery {
+  std::int32_t min_frames = 50;
+};
+
+/// One query answer: three distinct TIDs (ascending) jointly visible on
+/// [start_frame, end_frame].
+struct CoOccurrence {
+  std::array<track::TrackId, 3> tids{};
+  std::int32_t start_frame = 0;
+  std::int32_t end_frame = 0;
+
+  std::int32_t Length() const { return end_frame - start_frame + 1; }
+
+  friend bool operator==(const CoOccurrence&, const CoOccurrence&) = default;
+};
+
+/// Evaluates the query: all triples of tracks whose spans share an
+/// interval longer than `min_frames`. Triples are enumerated over the
+/// pairwise-overlap graph, so sparse scenes stay cheap. Sorted by TIDs.
+std::vector<CoOccurrence> RunCoOccurrenceQuery(const TrackDatabase& db,
+                                               const CoOccurrenceQuery& query);
+
+}  // namespace tmerge::query
+
+#endif  // TMERGE_QUERY_COOCCURRENCE_QUERY_H_

@@ -1,0 +1,17 @@
+#include "tmerge/query/count_query.h"
+
+#include <algorithm>
+
+namespace tmerge::query {
+
+std::vector<track::TrackId> RunCountQuery(const TrackDatabase& db,
+                                          const CountQuery& query) {
+  std::vector<track::TrackId> out;
+  for (const auto& record : db.records()) {
+    if (record.Span() > query.min_frames) out.push_back(record.tid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tmerge::query

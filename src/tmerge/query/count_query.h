@@ -1,0 +1,26 @@
+#ifndef TMERGE_QUERY_COUNT_QUERY_H_
+#define TMERGE_QUERY_COUNT_QUERY_H_
+
+#include <vector>
+
+#include "tmerge/query/track_database.h"
+
+namespace tmerge::query {
+
+/// The paper's *Count* query (§V-H): objects (individual tracks) visible
+/// across more than `min_frames` frames — e.g. "find cars/persons visible
+/// longer than a certain period". Fragmentation splits long tracks into
+/// short ones that fail the predicate, which is exactly the recall loss
+/// TMerge repairs.
+struct CountQuery {
+  std::int32_t min_frames = 200;
+};
+
+/// Evaluates the Count query: TIDs of tracks whose span exceeds the
+/// threshold, sorted ascending.
+std::vector<track::TrackId> RunCountQuery(const TrackDatabase& db,
+                                          const CountQuery& query);
+
+}  // namespace tmerge::query
+
+#endif  // TMERGE_QUERY_COUNT_QUERY_H_

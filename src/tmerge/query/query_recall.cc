@@ -1,0 +1,97 @@
+#include "tmerge/query/query_recall.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+
+namespace tmerge::query {
+namespace {
+
+// Maps each answer TID to its GT object, dropping unassigned tracks.
+std::unordered_map<track::TrackId, sim::GtObjectId> TidToGt(
+    const track::TrackingResult& result,
+    const metrics::TrackGtAssignment& assignment) {
+  std::unordered_map<track::TrackId, sim::GtObjectId> map;
+  for (std::size_t i = 0; i < result.tracks.size(); ++i) {
+    if (assignment.track_to_gt[i] != sim::kNoObject) {
+      map.emplace(result.tracks[i].id, assignment.track_to_gt[i]);
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+QueryRecall CountQueryRecall(const sim::SyntheticVideo& video,
+                             const track::TrackingResult& result,
+                             const CountQuery& query,
+                             const metrics::GtMatchConfig& match_config) {
+  // Reference answer over ground truth.
+  TrackDatabase gt_db = TrackDatabase::FromGroundTruth(video);
+  std::vector<track::TrackId> gt_answer = RunCountQuery(gt_db, query);
+
+  // Answer over the tracking metadata, lifted to GT identities.
+  TrackDatabase db(result);
+  std::vector<track::TrackId> answer = RunCountQuery(db, query);
+  metrics::TrackGtAssignment assignment =
+      metrics::MatchTracksToGt(video, result, match_config);
+  auto tid_to_gt = TidToGt(result, assignment);
+  std::set<sim::GtObjectId> found_gts;
+  for (track::TrackId tid : answer) {
+    auto it = tid_to_gt.find(tid);
+    if (it != tid_to_gt.end()) found_gts.insert(it->second);
+  }
+
+  QueryRecall recall;
+  recall.expected = static_cast<std::int64_t>(gt_answer.size());
+  for (track::TrackId gt : gt_answer) {
+    if (found_gts.contains(gt)) ++recall.found;
+  }
+  return recall;
+}
+
+QueryRecall CoOccurrenceQueryRecall(const sim::SyntheticVideo& video,
+                                    const track::TrackingResult& result,
+                                    const CoOccurrenceQuery& query,
+                                    const metrics::GtMatchConfig& match_config) {
+  TrackDatabase gt_db = TrackDatabase::FromGroundTruth(video);
+  std::vector<CoOccurrence> gt_answer = RunCoOccurrenceQuery(gt_db, query);
+
+  TrackDatabase db(result);
+  std::vector<CoOccurrence> answer = RunCoOccurrenceQuery(db, query);
+  metrics::TrackGtAssignment assignment =
+      metrics::MatchTracksToGt(video, result, match_config);
+  auto tid_to_gt = TidToGt(result, assignment);
+
+  // Lift every answer triple to a GT identity triple (distinct ids only).
+  std::set<std::array<sim::GtObjectId, 3>> found_triples;
+  for (const auto& hit : answer) {
+    std::array<sim::GtObjectId, 3> gts{};
+    bool valid = true;
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto it = tid_to_gt.find(hit.tids[i]);
+      if (it == tid_to_gt.end()) {
+        valid = false;
+        break;
+      }
+      gts[i] = it->second;
+    }
+    if (!valid) continue;
+    std::sort(gts.begin(), gts.end());
+    if (gts[0] == gts[1] || gts[1] == gts[2]) continue;
+    found_triples.insert(gts);
+  }
+
+  QueryRecall recall;
+  recall.expected = static_cast<std::int64_t>(gt_answer.size());
+  for (const auto& gt_hit : gt_answer) {
+    std::array<sim::GtObjectId, 3> gts = {gt_hit.tids[0], gt_hit.tids[1],
+                                          gt_hit.tids[2]};
+    std::sort(gts.begin(), gts.end());
+    if (found_triples.contains(gts)) ++recall.found;
+  }
+  return recall;
+}
+
+}  // namespace tmerge::query

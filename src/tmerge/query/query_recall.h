@@ -1,0 +1,40 @@
+#ifndef TMERGE_QUERY_QUERY_RECALL_H_
+#define TMERGE_QUERY_QUERY_RECALL_H_
+
+#include "tmerge/metrics/gt_matcher.h"
+#include "tmerge/query/cooccurrence_query.h"
+#include "tmerge/query/count_query.h"
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::query {
+
+/// Recall of one query variant: found / expected, with the breakdown.
+struct QueryRecall {
+  std::int64_t expected = 0;  ///< GT answers.
+  std::int64_t found = 0;     ///< GT answers covered by the tracking answer.
+
+  double Value() const {
+    return expected > 0 ? static_cast<double>(found) / expected : 1.0;
+  }
+};
+
+/// Recall of the Count query when evaluated on `result` instead of GT: a
+/// GT object that satisfies the predicate counts as found when some track
+/// assigned to it (per geometric GT matching) also satisfies it.
+QueryRecall CountQueryRecall(const sim::SyntheticVideo& video,
+                             const track::TrackingResult& result,
+                             const CountQuery& query,
+                             const metrics::GtMatchConfig& match_config = {});
+
+/// Recall of the Co-occurring Objects query: a GT triple satisfying the
+/// predicate counts as found when some answer triple over `result` maps
+/// (via GT matching) onto exactly that GT triple.
+QueryRecall CoOccurrenceQueryRecall(
+    const sim::SyntheticVideo& video, const track::TrackingResult& result,
+    const CoOccurrenceQuery& query,
+    const metrics::GtMatchConfig& match_config = {});
+
+}  // namespace tmerge::query
+
+#endif  // TMERGE_QUERY_QUERY_RECALL_H_

@@ -1,0 +1,41 @@
+#include "tmerge/query/track_database.h"
+
+#include <algorithm>
+
+namespace tmerge::query {
+
+std::int32_t TrackRecord::OverlapWith(const TrackRecord& other) const {
+  std::int32_t lo = std::max(first_frame, other.first_frame);
+  std::int32_t hi = std::min(last_frame, other.last_frame);
+  return hi >= lo ? hi - lo + 1 : 0;
+}
+
+TrackDatabase::TrackDatabase(const track::TrackingResult& result) {
+  records_.reserve(result.tracks.size());
+  for (const auto& track : result.tracks) {
+    if (track.boxes.empty()) continue;
+    TrackRecord record;
+    record.tid = track.id;
+    record.first_frame = track.first_frame();
+    record.last_frame = track.last_frame();
+    record.observed_boxes = track.size();
+    records_.push_back(record);
+  }
+}
+
+TrackDatabase TrackDatabase::FromGroundTruth(const sim::SyntheticVideo& video) {
+  TrackDatabase db;
+  db.records_.reserve(video.tracks.size());
+  for (const auto& track : video.tracks) {
+    if (track.boxes.empty()) continue;
+    TrackRecord record;
+    record.tid = track.id;
+    record.first_frame = track.first_frame();
+    record.last_frame = track.last_frame();
+    record.observed_boxes = track.length();
+    db.records_.push_back(record);
+  }
+  return db;
+}
+
+}  // namespace tmerge::query

@@ -1,0 +1,51 @@
+#ifndef TMERGE_QUERY_TRACK_DATABASE_H_
+#define TMERGE_QUERY_TRACK_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tmerge/sim/world.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::query {
+
+/// One row of the tracking-metadata relation a video query system ingests:
+/// a track's identity and temporal extent. This is the metadata TMerge is
+/// designed to clean before queries run (paper §V-H).
+struct TrackRecord {
+  track::TrackId tid = 0;
+  std::int32_t first_frame = 0;
+  std::int32_t last_frame = -1;
+  std::int32_t observed_boxes = 0;
+
+  /// Frame span (inclusive); the "visibility duration" queries filter on.
+  std::int32_t Span() const {
+    return last_frame >= first_frame ? last_frame - first_frame + 1 : 0;
+  }
+
+  /// Frames of the intersection of this record's span with another's.
+  std::int32_t OverlapWith(const TrackRecord& other) const;
+};
+
+/// Columnar store of track metadata over one video, queryable by the query
+/// operators in this module. Build it from tracker output (raw or merged)
+/// or from ground truth (the reference answer).
+class TrackDatabase {
+ public:
+  /// Ingests tracker output.
+  explicit TrackDatabase(const track::TrackingResult& result);
+
+  /// Ingests ground truth (TIDs are GT object ids).
+  static TrackDatabase FromGroundTruth(const sim::SyntheticVideo& video);
+
+  const std::vector<TrackRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  TrackDatabase() = default;
+  std::vector<TrackRecord> records_;
+};
+
+}  // namespace tmerge::query
+
+#endif  // TMERGE_QUERY_TRACK_DATABASE_H_

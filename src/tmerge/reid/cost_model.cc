@@ -1,0 +1,52 @@
+#include "tmerge/reid/cost_model.h"
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::reid {
+
+UsageStats& UsageStats::operator+=(const UsageStats& other) {
+  single_inferences += other.single_inferences;
+  batched_crops += other.batched_crops;
+  batch_calls += other.batch_calls;
+  distance_evals += other.distance_evals;
+  cache_hits += other.cache_hits;
+  return *this;
+}
+
+void InferenceMeter::ChargeSingle(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  stats_.single_inferences += count;
+  clock_.Advance(model_.single_inference_seconds * count);
+}
+
+void InferenceMeter::ChargeBatch(std::int64_t batch_size) {
+  TMERGE_CHECK(batch_size >= 0);
+  if (batch_size == 0) return;
+  stats_.batch_calls += 1;
+  stats_.batched_crops += batch_size;
+  clock_.Advance(model_.batch_fixed_seconds +
+                 model_.batch_item_seconds * batch_size);
+}
+
+void InferenceMeter::ChargeDistance(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  stats_.distance_evals += count;
+  clock_.Advance(model_.distance_seconds * count);
+}
+
+void InferenceMeter::ChargeDistanceBatched(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  stats_.distance_evals += count;
+  clock_.Advance(model_.batched_distance_seconds * count);
+}
+
+void InferenceMeter::ChargeOverhead(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  clock_.Advance(model_.per_sample_overhead_seconds * count);
+}
+
+void InferenceMeter::RecordCacheHit(std::int64_t count) {
+  stats_.cache_hits += count;
+}
+
+}  // namespace tmerge::reid

@@ -1,0 +1,35 @@
+#ifndef TMERGE_REID_FEATURE_H_
+#define TMERGE_REID_FEATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tmerge/sim/world.h"
+
+namespace tmerge::reid {
+
+/// A ReID feature vector f(b) extracted from a BBox crop (paper §III).
+using FeatureVector = std::vector<double>;
+
+/// Euclidean distance d(b1, b2) between two feature vectors of equal size.
+double FeatureDistance(const FeatureVector& a, const FeatureVector& b);
+
+/// Reference to one BBox crop to embed. Carries exactly the hidden fields
+/// the synthetic ReID model needs to produce a deterministic feature; both
+/// detect::Detection and track::TrackedBox convert to this trivially.
+struct CropRef {
+  /// Keys the feature cache; unique per detection within a video.
+  std::uint64_t detection_id = 0;
+  /// GT object in the crop, or sim::kNoObject for a false positive.
+  sim::GtObjectId gt_id = sim::kNoObject;
+  /// Visibility at capture time; occlusion corrupts the embedding.
+  double visibility = 1.0;
+  /// Glare corrupts the embedding further.
+  bool glared = false;
+  /// Deterministic per-observation noise seed.
+  std::uint64_t noise_seed = 0;
+};
+
+}  // namespace tmerge::reid
+
+#endif  // TMERGE_REID_FEATURE_H_

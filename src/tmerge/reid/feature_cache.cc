@@ -1,0 +1,40 @@
+#include "tmerge/reid/feature_cache.h"
+
+namespace tmerge::reid {
+
+const FeatureVector& FeatureCache::GetOrEmbed(const CropRef& crop,
+                                              const ReidModel& model,
+                                              InferenceMeter& meter) {
+  auto it = cache_.find(crop.detection_id);
+  if (it != cache_.end()) {
+    meter.RecordCacheHit();
+    return it->second;
+  }
+  meter.ChargeSingle();
+  auto [inserted, _] = cache_.emplace(crop.detection_id, model.Embed(crop));
+  return inserted->second;
+}
+
+std::vector<const FeatureVector*> FeatureCache::GetOrEmbedBatch(
+    const std::vector<CropRef>& crops, const ReidModel& model,
+    InferenceMeter& meter) {
+  std::int64_t misses = 0;
+  for (const auto& crop : crops) {
+    if (cache_.contains(crop.detection_id)) {
+      meter.RecordCacheHit();
+      continue;
+    }
+    cache_.emplace(crop.detection_id, model.Embed(crop));
+    ++misses;
+  }
+  meter.ChargeBatch(misses);
+
+  std::vector<const FeatureVector*> out;
+  out.reserve(crops.size());
+  for (const auto& crop : crops) {
+    out.push_back(&cache_.at(crop.detection_id));
+  }
+  return out;
+}
+
+}  // namespace tmerge::reid

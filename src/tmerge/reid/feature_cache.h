@@ -1,0 +1,47 @@
+#ifndef TMERGE_REID_FEATURE_CACHE_H_
+#define TMERGE_REID_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tmerge/reid/cost_model.h"
+#include "tmerge/reid/feature.h"
+#include "tmerge/reid/reid_model.h"
+
+namespace tmerge::reid {
+
+/// Memoizes ReID features per detection, implementing the paper's reuse
+/// optimization (§IV-B: "if either of the BBoxes' feature vectors has been
+/// extracted in previous iterations it can be reused"). Inference cost is
+/// charged to the meter only on cache misses; hits are recorded but free.
+class FeatureCache {
+ public:
+  /// Returns the cached feature for `crop`, embedding (and charging one
+  /// single inference) on a miss.
+  const FeatureVector& GetOrEmbed(const CropRef& crop,
+                                  const ReidModel& model,
+                                  InferenceMeter& meter);
+
+  /// Batched variant: embeds all uncached crops in one batched inference
+  /// call (the TMerge-B / BL-B / PS-B GPU path), then returns features for
+  /// every requested crop, in order.
+  std::vector<const FeatureVector*> GetOrEmbedBatch(
+      const std::vector<CropRef>& crops, const ReidModel& model,
+      InferenceMeter& meter);
+
+  /// True if the crop is already cached (no cost either way).
+  bool Contains(std::uint64_t detection_id) const {
+    return cache_.contains(detection_id);
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, FeatureVector> cache_;
+};
+
+}  // namespace tmerge::reid
+
+#endif  // TMERGE_REID_FEATURE_CACHE_H_

@@ -1,0 +1,27 @@
+#include "tmerge/reid/reid_model.h"
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::reid {
+
+PrecomputedReidModel::PrecomputedReidModel(
+    std::unordered_map<std::uint64_t, FeatureVector> features,
+    double normalization_scale)
+    : features_(std::move(features)),
+      normalization_scale_(normalization_scale) {
+  TMERGE_CHECK(!features_.empty());
+  TMERGE_CHECK(normalization_scale_ > 0.0);
+  feature_dim_ = features_.begin()->second.size();
+  TMERGE_CHECK(feature_dim_ > 0);
+  for (const auto& [id, feature] : features_) {
+    TMERGE_CHECK(feature.size() == feature_dim_);
+  }
+}
+
+FeatureVector PrecomputedReidModel::Embed(const CropRef& crop) const {
+  auto it = features_.find(crop.detection_id);
+  TMERGE_CHECK(it != features_.end());
+  return it->second;
+}
+
+}  // namespace tmerge::reid

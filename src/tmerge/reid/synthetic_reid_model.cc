@@ -1,0 +1,74 @@
+#include "tmerge/reid/synthetic_reid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmerge/core/rng.h"
+#include "tmerge/core/status.h"
+
+namespace tmerge::reid {
+
+SyntheticReidModel::SyntheticReidModel(const sim::SyntheticVideo& video,
+                                       const ReidModelConfig& config,
+                                       std::uint64_t seed)
+    : config_(config), seed_(seed), feature_dim_(16) {
+  for (const auto& track : video.tracks) {
+    TMERGE_CHECK(!track.appearance.empty());
+    appearances_.emplace(track.id, track.appearance);
+    feature_dim_ = track.appearance.size();
+  }
+
+  // Normalization scale: the largest between-object latent distance plus a
+  // noise margin, so that normalized distances rarely clip at 1 but the
+  // full [0, 1] range is used. Falls back to a noise-only scale for videos
+  // with fewer than two objects.
+  double max_latent = 0.0;
+  std::vector<const sim::AppearanceVector*> latents;
+  latents.reserve(appearances_.size());
+  for (const auto& [id, vec] : appearances_) latents.push_back(&vec);
+  for (std::size_t i = 0; i < latents.size(); ++i) {
+    for (std::size_t j = i + 1; j < latents.size(); ++j) {
+      max_latent = std::max(
+          max_latent, sim::EuclideanDistance(*latents[i], *latents[j]));
+    }
+  }
+  double expected_noise =
+      config_.observation_noise +
+      config_.hard_crop_prob * config_.hard_crop_noise;
+  double noise_margin = 3.0 * expected_noise * std::sqrt(2.0 * feature_dim_);
+  normalization_scale_ =
+      std::max(1e-6, (max_latent + noise_margin) *
+                         config_.normalization_headroom);
+}
+
+FeatureVector SyntheticReidModel::Embed(const CropRef& crop) const {
+  core::Rng rng(crop.noise_seed ^ (seed_ * 0x9E3779B97F4A7C15ULL));
+  double noise_stddev =
+      config_.observation_noise +
+      config_.occlusion_noise_scale * (1.0 - std::clamp(crop.visibility, 0.0, 1.0)) +
+      (crop.glared ? config_.glare_noise : 0.0);
+  // Hard crops (blur, pose, truncation) embed poorly; deterministic per
+  // crop so the corruption is a property of the BBox, not of the draw.
+  if (rng.Bernoulli(config_.hard_crop_prob)) {
+    noise_stddev += config_.hard_crop_noise;
+  }
+
+  FeatureVector feature(feature_dim_);
+  auto it = crop.gt_id == sim::kNoObject ? appearances_.end()
+                                         : appearances_.find(crop.gt_id);
+  if (it != appearances_.end()) {
+    const sim::AppearanceVector& latent = it->second;
+    for (std::size_t i = 0; i < feature_dim_; ++i) {
+      feature[i] = latent[i] + rng.Normal(0.0, noise_stddev);
+    }
+  } else {
+    // False positive (or unknown object): an arbitrary background embedding,
+    // stable for this crop because the Rng is seeded by the crop.
+    for (std::size_t i = 0; i < feature_dim_; ++i) {
+      feature[i] = rng.Normal(0.0, 1.2) + rng.Normal(0.0, noise_stddev);
+    }
+  }
+  return feature;
+}
+
+}  // namespace tmerge::reid

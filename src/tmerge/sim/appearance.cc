@@ -1,0 +1,86 @@
+#include "tmerge/sim/appearance.h"
+
+#include <cmath>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::sim {
+
+double SquaredDistance(const AppearanceVector& a, const AppearanceVector& b) {
+  TMERGE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const AppearanceVector& a, const AppearanceVector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+AppearanceSpace::AppearanceSpace(const AppearanceSpaceConfig& config,
+                                 core::Rng& rng)
+    : config_(config) {
+  TMERGE_CHECK(config.dim > 0);
+  TMERGE_CHECK(config.num_clusters > 0);
+  cluster_centers_.reserve(config_.num_clusters);
+  cluster_anchors_.reserve(config_.num_clusters);
+  for (std::size_t c = 0; c < config_.num_clusters; ++c) {
+    AppearanceVector center(config_.dim);
+    for (auto& v : center) v = rng.Normal(0.0, config_.cluster_scale);
+    cluster_centers_.push_back(std::move(center));
+    cluster_anchors_.push_back({rng.Uniform01(), rng.Uniform01()});
+  }
+}
+
+AppearanceVector AppearanceSpace::SampleFromCluster(std::size_t cluster,
+                                                    core::Rng& rng) const {
+  const AppearanceVector& center = cluster_centers_[cluster];
+  AppearanceVector out(config_.dim);
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    out[i] = center[i] + rng.Normal(0.0, config_.within_cluster_scale);
+  }
+  return out;
+}
+
+AppearanceVector AppearanceSpace::SampleObject(core::Rng& rng) const {
+  return SampleFromCluster(rng.Index(cluster_centers_.size()), rng);
+}
+
+AppearanceVector AppearanceSpace::SampleObjectAt(double x, double y,
+                                                 core::Rng& rng) const {
+  if (!rng.Bernoulli(config_.spatial_coherence)) return SampleObject(rng);
+  // Draw the cluster with probability proportional to a Gaussian kernel of
+  // the anchor distance.
+  double bandwidth = std::max(1e-3, config_.anchor_bandwidth);
+  std::vector<double> weights(cluster_anchors_.size());
+  double total = 0.0;
+  for (std::size_t c = 0; c < cluster_anchors_.size(); ++c) {
+    double dx = x - cluster_anchors_[c].x;
+    double dy = y - cluster_anchors_[c].y;
+    weights[c] = std::exp(-(dx * dx + dy * dy) / (2.0 * bandwidth * bandwidth));
+    total += weights[c];
+  }
+  double pick = rng.Uniform(0.0, total);
+  std::size_t cluster = cluster_anchors_.size() - 1;
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    if (pick < weights[c]) {
+      cluster = c;
+      break;
+    }
+    pick -= weights[c];
+  }
+  return SampleFromCluster(cluster, rng);
+}
+
+AppearanceVector AppearanceSpace::SampleBackground(core::Rng& rng) const {
+  AppearanceVector out(config_.dim);
+  for (auto& v : out) {
+    v = rng.Normal(0.0, config_.cluster_scale + config_.within_cluster_scale);
+  }
+  return out;
+}
+
+}  // namespace tmerge::sim

@@ -1,0 +1,86 @@
+#ifndef TMERGE_SIM_APPEARANCE_H_
+#define TMERGE_SIM_APPEARANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/core/rng.h"
+
+namespace tmerge::sim {
+
+/// Latent appearance of a ground-truth object: a point in a D-dimensional
+/// feature space. The synthetic ReID model (reid/synthetic_reid_model.h)
+/// observes this vector plus noise, mirroring how a trained ReID embedder
+/// maps same-object crops to nearby vectors.
+using AppearanceVector = std::vector<double>;
+
+/// Squared Euclidean distance between two appearance vectors of equal size.
+double SquaredDistance(const AppearanceVector& a, const AppearanceVector& b);
+
+/// Euclidean distance between two appearance vectors of equal size.
+double EuclideanDistance(const AppearanceVector& a, const AppearanceVector& b);
+
+/// Configuration for the latent appearance space.
+struct AppearanceSpaceConfig {
+  /// Dimensionality of the latent space.
+  std::size_t dim = 16;
+  /// Number of appearance clusters ("red sedan", "dark coat", ...). Objects
+  /// in the same cluster are hard negatives for ReID-based merging.
+  std::size_t num_clusters = 20;
+  /// Standard deviation of cluster centers around the origin.
+  double cluster_scale = 1.0;
+  /// Standard deviation of objects around their cluster center. Smaller
+  /// values make distinct same-cluster objects harder to tell apart.
+  double within_cluster_scale = 0.45;
+  /// Spatial coherence of appearance: each cluster is anchored somewhere
+  /// in the scene, and objects spawning nearby are more likely to belong
+  /// to it (groups walking together, region lighting). This is what gives
+  /// track-pair scores their positive correlation with spatial distance —
+  /// the signal BetaInit exploits (paper SIV-C: Pearson r >= 0.3).
+  /// 0 disables (location-independent appearance); 1 = fully anchored.
+  double spatial_coherence = 0.6;
+  /// Kernel width of the anchor attraction, as a fraction of the scene
+  /// diagonal.
+  double anchor_bandwidth = 0.22;
+};
+
+/// Generates latent appearance vectors for ground-truth objects. Clusters
+/// model visually-similar object populations so that a fraction of
+/// non-polyonymous track pairs have genuinely low ReID distance — the "hard
+/// pairs" that require more sampling iterations in the paper's Fig. 7
+/// discussion.
+class AppearanceSpace {
+ public:
+  /// Creates the space with `config`, drawing cluster centers from `rng`.
+  AppearanceSpace(const AppearanceSpaceConfig& config, core::Rng& rng);
+
+  /// Samples the latent appearance for a new object with no location
+  /// information (cluster chosen uniformly).
+  AppearanceVector SampleObject(core::Rng& rng) const;
+
+  /// Samples the latent appearance for an object spawning at normalized
+  /// scene coordinates (x, y) in [0, 1]^2: with probability
+  /// `spatial_coherence` the cluster is drawn by proximity to the cluster
+  /// anchors, otherwise uniformly.
+  AppearanceVector SampleObjectAt(double x, double y, core::Rng& rng) const;
+
+  /// Samples a latent appearance unrelated to any cluster; used for false
+  /// positive detections.
+  AppearanceVector SampleBackground(core::Rng& rng) const;
+
+  std::size_t dim() const { return config_.dim; }
+
+ private:
+  AppearanceVector SampleFromCluster(std::size_t cluster,
+                                     core::Rng& rng) const;
+
+  AppearanceSpaceConfig config_;
+  std::vector<AppearanceVector> cluster_centers_;
+  /// Normalized scene anchor of each cluster.
+  std::vector<core::Point> cluster_anchors_;
+};
+
+}  // namespace tmerge::sim
+
+#endif  // TMERGE_SIM_APPEARANCE_H_

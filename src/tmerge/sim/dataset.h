@@ -1,0 +1,51 @@
+#ifndef TMERGE_SIM_DATASET_H_
+#define TMERGE_SIM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmerge/sim/video_generator.h"
+#include "tmerge/sim/world.h"
+
+namespace tmerge::sim {
+
+/// Synthetic analogue of one of the paper's benchmark datasets (§V-A).
+/// Each profile produces VideoConfigs whose statistics (video length, object
+/// density, track length, occlusion pressure) mimic the real dataset the
+/// paper evaluated on. See DESIGN.md §1 for the substitution rationale.
+enum class DatasetProfile : std::uint8_t {
+  /// MOT-17-like: ~800-frame pedestrian scenes, dense crowds, heavy mutual
+  /// occlusion. The paper treats each whole video as one window.
+  kMot17Like = 0,
+  /// KITTI-like: short driving scenes, wide/short frames, sparse
+  /// pedestrians moving quickly through the field of view.
+  kKittiLike = 1,
+  /// PathTrack-like: ~2-minute YouTube-style videos with many tracks; used
+  /// with overlapping windows of length L (default 2000).
+  kPathTrackLike = 2,
+};
+
+/// Returns "MOT-17", "KITTI", or "PathTrack" (the dataset each profile
+/// emulates).
+const char* DatasetProfileName(DatasetProfile profile);
+
+/// A collection of synthetic videos sharing a profile.
+struct Dataset {
+  std::string name;
+  DatasetProfile profile = DatasetProfile::kMot17Like;
+  std::vector<SyntheticVideo> videos;
+};
+
+/// Returns the base VideoConfig for a profile; callers may tweak fields
+/// (e.g. num_frames for scaling studies) before calling GenerateVideo.
+VideoConfig ProfileConfig(DatasetProfile profile);
+
+/// Generates `num_videos` videos of the given profile. Video i uses seed
+/// `seed + i` and varies scene density slightly to emulate distinct scenes.
+Dataset MakeDataset(DatasetProfile profile, std::int32_t num_videos,
+                    std::uint64_t seed);
+
+}  // namespace tmerge::sim
+
+#endif  // TMERGE_SIM_DATASET_H_

@@ -1,0 +1,46 @@
+#include "tmerge/sim/motion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmerge::sim {
+
+void MotionModel::Step(MotionState& state, core::Rng& rng) const {
+  state.vx += rng.Normal(0.0, config_.accel_stddev);
+  state.vy += rng.Normal(0.0, config_.accel_stddev);
+  state.vx = std::clamp(state.vx, -config_.max_speed, config_.max_speed);
+  state.vy = std::clamp(state.vy, -config_.max_speed, config_.max_speed);
+
+  state.box.x += state.vx;
+  state.box.y += state.vy;
+
+  double scale = std::exp(rng.Normal(0.0, config_.size_drift_stddev));
+  // Scale about the box center so drift does not translate the object.
+  double cx = state.box.x + state.box.width / 2.0;
+  double cy = state.box.y + state.box.height / 2.0;
+  state.box.width *= scale;
+  state.box.height *= scale;
+  state.box.x = cx - state.box.width / 2.0;
+  state.box.y = cy - state.box.height / 2.0;
+
+  if (config_.reflect_at_edges) {
+    if (state.box.x < 0.0) {
+      state.box.x = 0.0;
+      state.vx = std::abs(state.vx);
+    }
+    if (state.box.Right() > config_.frame_width) {
+      state.box.x = config_.frame_width - state.box.width;
+      state.vx = -std::abs(state.vx);
+    }
+    if (state.box.y < 0.0) {
+      state.box.y = 0.0;
+      state.vy = std::abs(state.vy);
+    }
+    if (state.box.Bottom() > config_.frame_height) {
+      state.box.y = config_.frame_height - state.box.height;
+      state.vy = -std::abs(state.vy);
+    }
+  }
+}
+
+}  // namespace tmerge::sim

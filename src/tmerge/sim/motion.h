@@ -1,0 +1,54 @@
+#ifndef TMERGE_SIM_MOTION_H_
+#define TMERGE_SIM_MOTION_H_
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/core/rng.h"
+
+namespace tmerge::sim {
+
+/// Kinematic state of one simulated object: top-left-anchored box plus
+/// per-frame velocity in pixels.
+struct MotionState {
+  core::BoundingBox box;
+  double vx = 0.0;  ///< Horizontal velocity, pixels/frame.
+  double vy = 0.0;  ///< Vertical velocity, pixels/frame.
+};
+
+/// Parameters of the near-constant-velocity motion model.
+struct MotionConfig {
+  /// Per-frame standard deviation of random acceleration (pixels/frame^2).
+  double accel_stddev = 0.15;
+  /// Maximum speed magnitude per axis (pixels/frame).
+  double max_speed = 8.0;
+  /// Per-frame relative size drift stddev (models approach/recede scaling).
+  double size_drift_stddev = 0.002;
+  /// Frame bounds used for boundary reflection.
+  double frame_width = 1920.0;
+  double frame_height = 1080.0;
+  /// If true, objects bounce off frame edges; if false they may exit (their
+  /// track then ends when fully outside).
+  bool reflect_at_edges = true;
+};
+
+/// Near-constant-velocity motion with small random acceleration, bounded
+/// speed, mild size drift, and optional boundary reflection. This matches
+/// the assumption under which SORT-style Kalman trackers work well, so
+/// tracking errors in the reproduction come from *detection gaps*
+/// (occlusion/glare) rather than from an adversarial motion model — the
+/// same failure mode the paper attributes fragmentation to.
+class MotionModel {
+ public:
+  explicit MotionModel(const MotionConfig& config) : config_(config) {}
+
+  /// Advances `state` by one frame.
+  void Step(MotionState& state, core::Rng& rng) const;
+
+  const MotionConfig& config() const { return config_; }
+
+ private:
+  MotionConfig config_;
+};
+
+}  // namespace tmerge::sim
+
+#endif  // TMERGE_SIM_MOTION_H_

@@ -1,0 +1,180 @@
+#include "tmerge/sim/video_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::sim {
+namespace {
+
+// Spawns one ground-truth track starting at `birth_frame`, simulating motion
+// until its sampled lifetime or the end of the video.
+GroundTruthTrack SpawnTrack(const VideoConfig& config, GtObjectId id,
+                            std::int32_t birth_frame,
+                            const AppearanceSpace& appearance_space,
+                            const MotionModel& motion, core::Rng& rng) {
+  GroundTruthTrack track;
+  track.id = id;
+  track.object_class = config.object_class;
+
+  double u = rng.Uniform01();
+  auto length = static_cast<std::int32_t>(
+      config.min_track_length +
+      (config.max_track_length - config.min_track_length) *
+          std::pow(u, config.track_length_shape));
+  std::int32_t death_frame =
+      std::min(birth_frame + length - 1, config.num_frames - 1);
+
+  double width = rng.Uniform(config.min_box_width, config.max_box_width);
+  double height = width * config.box_aspect;
+  MotionState state;
+  state.box.width = width;
+  state.box.height = height;
+  state.box.x = rng.Uniform(0.0, std::max(1.0, config.frame_width - width));
+  state.box.y = rng.Uniform(0.0, std::max(1.0, config.frame_height - height));
+  // Appearance depends on the spawn location (see AppearanceSpaceConfig::
+  // spatial_coherence): nearby objects tend to look alike.
+  track.appearance = appearance_space.SampleObjectAt(
+      state.box.x / config.frame_width, state.box.y / config.frame_height,
+      rng);
+  double angle = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+  double speed = config.initial_speed * rng.Uniform(0.5, 1.5);
+  state.vx = speed * std::cos(angle);
+  state.vy = speed * std::sin(angle);
+
+  track.boxes.reserve(death_frame - birth_frame + 1);
+  for (std::int32_t frame = birth_frame; frame <= death_frame; ++frame) {
+    GroundTruthBox gt_box;
+    gt_box.frame = frame;
+    gt_box.box = state.box;
+    track.boxes.push_back(gt_box);
+    motion.Step(state, rng);
+  }
+  return track;
+}
+
+// Marks per-frame visibility from static occluders and (optionally) mutual
+// object occlusion, and flags glare.
+void AnnotateVisibility(const VideoConfig& config, SyntheticVideo& video) {
+  // Index tracks by frame for the pairwise pass.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> by_frame(
+      video.num_frames);  // (track index, box index within track)
+  for (std::size_t t = 0; t < video.tracks.size(); ++t) {
+    const auto& track = video.tracks[t];
+    for (std::size_t b = 0; b < track.boxes.size(); ++b) {
+      std::int32_t frame = track.boxes[b].frame;
+      TMERGE_CHECK(frame >= 0 && frame < video.num_frames);
+      by_frame[frame].emplace_back(t, b);
+    }
+  }
+
+  for (std::int32_t frame = 0; frame < video.num_frames; ++frame) {
+    const auto& entries = by_frame[frame];
+    for (const auto& [t, b] : entries) {
+      GroundTruthBox& gt_box = video.tracks[t].boxes[b];
+      double occlusion = 0.0;
+      for (const auto& occluder : video.occluders) {
+        occlusion = std::max(
+            occlusion, core::CoverageFraction(gt_box.box, occluder.region));
+      }
+      if (config.object_occlusion) {
+        for (const auto& [t2, b2] : entries) {
+          if (t2 == t) continue;
+          const core::BoundingBox& other = video.tracks[t2].boxes[b2].box;
+          // The object whose box reaches lower in the frame is nearer to a
+          // typical elevated camera and occludes the other.
+          if (other.Bottom() > gt_box.box.Bottom()) {
+            occlusion =
+                std::max(occlusion, core::CoverageFraction(gt_box.box, other));
+          }
+        }
+      }
+      gt_box.visibility = std::clamp(1.0 - occlusion, 0.0, 1.0);
+      for (const auto& glare : video.glare_events) {
+        if (frame >= glare.start_frame && frame <= glare.end_frame) {
+          core::Point center = gt_box.box.Center();
+          const core::BoundingBox& r = glare.region;
+          if (center.x >= r.x && center.x <= r.Right() && center.y >= r.y &&
+              center.y <= r.Bottom()) {
+            gt_box.glared = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticVideo GenerateVideo(const VideoConfig& config, std::uint64_t seed) {
+  TMERGE_CHECK(config.num_frames > 0);
+  TMERGE_CHECK(config.min_track_length > 0);
+  TMERGE_CHECK(config.min_track_length <= config.max_track_length);
+
+  core::Rng rng(seed);
+  SyntheticVideo video;
+  video.name = config.name;
+  video.num_frames = config.num_frames;
+  video.frame_width = config.frame_width;
+  video.frame_height = config.frame_height;
+  video.fps = config.fps;
+
+  AppearanceSpace appearance_space(config.appearance, rng);
+  MotionConfig motion_config = config.motion;
+  motion_config.frame_width = config.frame_width;
+  motion_config.frame_height = config.frame_height;
+  MotionModel motion(motion_config);
+
+  for (std::int32_t i = 0; i < config.num_occluders; ++i) {
+    Occluder occluder;
+    double w = rng.Uniform(config.occluder_min_size, config.occluder_max_size);
+    double h = rng.Uniform(config.occluder_min_size, config.occluder_max_size);
+    occluder.region = {rng.Uniform(0.0, std::max(1.0, config.frame_width - w)),
+                       rng.Uniform(0.0, std::max(1.0, config.frame_height - h)),
+                       w, h};
+    video.occluders.push_back(occluder);
+  }
+
+  for (std::int32_t frame = 0; frame < config.num_frames; ++frame) {
+    double u = rng.Uniform01();
+    if (u < config.glare_rate) {
+      GlareEvent glare;
+      glare.start_frame = frame;
+      glare.end_frame = std::min<std::int32_t>(
+          config.num_frames - 1,
+          frame + static_cast<std::int32_t>(rng.UniformInt(
+                      config.glare_min_length, config.glare_max_length)));
+      if (rng.Bernoulli(config.glare_full_frame_prob)) {
+        glare.region = {0.0, 0.0, config.frame_width, config.frame_height};
+      } else {
+        double w = rng.Uniform(config.frame_width * 0.2, config.frame_width * 0.6);
+        double h =
+            rng.Uniform(config.frame_height * 0.2, config.frame_height * 0.6);
+        glare.region = {rng.Uniform(0.0, config.frame_width - w),
+                        rng.Uniform(0.0, config.frame_height - h), w, h};
+      }
+      video.glare_events.push_back(glare);
+    }
+  }
+
+  GtObjectId next_id = 0;
+  for (std::int32_t i = 0; i < config.initial_objects; ++i) {
+    video.tracks.push_back(
+        SpawnTrack(config, next_id++, 0, appearance_space, motion, rng));
+  }
+  for (std::int32_t frame = 1; frame < config.num_frames; ++frame) {
+    int arrivals = rng.Poisson(config.spawn_rate);
+    for (int a = 0; a < arrivals; ++a) {
+      // Skip spawns too close to the end to form a meaningful track.
+      if (config.num_frames - frame < config.min_track_length / 2) break;
+      video.tracks.push_back(
+          SpawnTrack(config, next_id++, frame, appearance_space, motion, rng));
+    }
+  }
+
+  AnnotateVisibility(config, video);
+  return video;
+}
+
+}  // namespace tmerge::sim

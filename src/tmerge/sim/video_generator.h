@@ -1,0 +1,69 @@
+#ifndef TMERGE_SIM_VIDEO_GENERATOR_H_
+#define TMERGE_SIM_VIDEO_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tmerge/sim/motion.h"
+#include "tmerge/sim/world.h"
+
+namespace tmerge::sim {
+
+/// All knobs of the synthetic scene. Dataset profiles (sim/dataset.h)
+/// provide presets mimicking the statistics of MOT-17, KITTI and PathTrack.
+struct VideoConfig {
+  std::string name = "synthetic";
+  std::int32_t num_frames = 800;
+  double frame_width = 1920.0;
+  double frame_height = 1080.0;
+  double fps = 30.0;
+  ObjectClass object_class = ObjectClass::kPedestrian;
+
+  /// Objects present at frame 0.
+  std::int32_t initial_objects = 12;
+  /// Expected new objects per frame (Poisson arrivals).
+  double spawn_rate = 0.05;
+  /// Track length bounds in frames. `max_track_length` is the paper's
+  /// L_max: no GT track spans more frames, which the windowing scheme
+  /// relies on (L >= 2 * L_max).
+  std::int32_t min_track_length = 60;
+  std::int32_t max_track_length = 400;
+  /// Shape of the track-length distribution: length = min + (max - min) *
+  /// u^shape for u ~ U[0,1). 1 is uniform; larger values skew short while
+  /// keeping the max (PathTrack-like: many short tracks, a 1000-frame cap).
+  double track_length_shape = 1.0;
+
+  /// Object geometry: width uniform in [min, max], height = width * aspect.
+  double min_box_width = 40.0;
+  double max_box_width = 90.0;
+  double box_aspect = 2.4;
+  /// Initial speed magnitude in pixels/frame.
+  double initial_speed = 2.5;
+  MotionConfig motion;
+
+  /// Static foreground occluders (pillars, parked vehicles).
+  std::int32_t num_occluders = 3;
+  double occluder_min_size = 90.0;
+  double occluder_max_size = 240.0;
+  /// Whether objects occlude each other (nearer object wins; "nearer" =
+  /// larger bottom edge, the usual surveillance-camera depth cue).
+  bool object_occlusion = true;
+
+  /// Expected glare events per frame; each suppresses detections in a
+  /// region for a bounded duration.
+  double glare_rate = 0.002;
+  std::int32_t glare_min_length = 10;
+  std::int32_t glare_max_length = 40;
+  /// Probability that a glare event covers the whole frame.
+  double glare_full_frame_prob = 0.2;
+
+  AppearanceSpaceConfig appearance;
+};
+
+/// Generates a SyntheticVideo from a config and seed. Deterministic: the
+/// same (config, seed) yields the same video.
+SyntheticVideo GenerateVideo(const VideoConfig& config, std::uint64_t seed);
+
+}  // namespace tmerge::sim
+
+#endif  // TMERGE_SIM_VIDEO_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "tmerge/sim/world.h"
+
+#include <algorithm>
+
+namespace tmerge::sim {
+
+const char* ObjectClassName(ObjectClass object_class) {
+  switch (object_class) {
+    case ObjectClass::kPedestrian:
+      return "pedestrian";
+    case ObjectClass::kVehicle:
+      return "vehicle";
+  }
+  return "unknown";
+}
+
+std::int64_t SyntheticVideo::TotalBoxes() const {
+  std::int64_t total = 0;
+  for (const auto& track : tracks) total += track.length();
+  return total;
+}
+
+std::vector<std::size_t> SyntheticVideo::TracksInFrame(
+    std::int32_t frame) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (tracks[i].first_frame() <= frame && frame <= tracks[i].last_frame()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+SyntheticVideo TruncateVideo(const SyntheticVideo& video,
+                             std::int32_t num_frames) {
+  SyntheticVideo out = video;
+  out.num_frames = num_frames;
+  out.tracks.clear();
+  for (const auto& track : video.tracks) {
+    if (track.first_frame() >= num_frames) continue;
+    GroundTruthTrack copy = track;
+    while (!copy.boxes.empty() && copy.boxes.back().frame >= num_frames) {
+      copy.boxes.pop_back();
+    }
+    if (!copy.boxes.empty()) out.tracks.push_back(std::move(copy));
+  }
+  out.glare_events.clear();
+  for (const auto& glare : video.glare_events) {
+    if (glare.start_frame >= num_frames) continue;
+    GlareEvent copy = glare;
+    copy.end_frame = std::min(copy.end_frame, num_frames - 1);
+    out.glare_events.push_back(copy);
+  }
+  return out;
+}
+
+}  // namespace tmerge::sim

@@ -1,0 +1,105 @@
+#ifndef TMERGE_SIM_WORLD_H_
+#define TMERGE_SIM_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/sim/appearance.h"
+
+namespace tmerge::sim {
+
+/// Identifier of a ground-truth (GT) object; unique within one video.
+using GtObjectId = std::int32_t;
+
+/// Sentinel GT id for detections that correspond to no real object
+/// (false positives).
+inline constexpr GtObjectId kNoObject = -1;
+
+/// Coarse object category; queries and trackers may filter on it.
+enum class ObjectClass : std::uint8_t {
+  kPedestrian = 0,
+  kVehicle = 1,
+};
+
+/// Returns "pedestrian" / "vehicle".
+const char* ObjectClassName(ObjectClass object_class);
+
+/// One ground-truth observation of an object in one frame.
+struct GroundTruthBox {
+  std::int32_t frame = 0;
+  core::BoundingBox box;
+  /// Fraction of the object that is unobstructed, in [0, 1]. Occluders and
+  /// other objects reduce it; the detection simulator drops detections when
+  /// visibility falls below its threshold.
+  double visibility = 1.0;
+  /// True when a glare event covers the object in this frame (detections
+  /// become unreliable regardless of geometric visibility).
+  bool glared = false;
+};
+
+/// A complete ground-truth track: one physical object across consecutive
+/// frames. This is the paper's "GT track"; the tracker's fragments of it are
+/// the polyonymous tracks TMerge must re-associate.
+struct GroundTruthTrack {
+  GtObjectId id = 0;
+  ObjectClass object_class = ObjectClass::kPedestrian;
+  /// Latent appearance observed (noisily) by the synthetic ReID model.
+  AppearanceVector appearance;
+  /// Observations on consecutive frames [first_frame(), last_frame()].
+  std::vector<GroundTruthBox> boxes;
+
+  std::int32_t first_frame() const {
+    return boxes.empty() ? 0 : boxes.front().frame;
+  }
+  std::int32_t last_frame() const {
+    return boxes.empty() ? -1 : boxes.back().frame;
+  }
+  /// Number of frames the object is present.
+  std::int32_t length() const { return static_cast<std::int32_t>(boxes.size()); }
+};
+
+/// A static occluder: a foreground rectangle (pillar, parked truck, tree)
+/// that hides whatever passes behind it.
+struct Occluder {
+  core::BoundingBox region;
+};
+
+/// A transient glare event: within [start_frame, end_frame] detections
+/// inside `region` are suppressed with high probability.
+struct GlareEvent {
+  std::int32_t start_frame = 0;
+  std::int32_t end_frame = 0;
+  core::BoundingBox region;
+};
+
+/// A synthetic video: frame geometry plus the full ground truth. There are
+/// no pixels — downstream components consume only metadata, exactly the
+/// inputs the paper's algorithms observe (BBoxes and ReID features).
+struct SyntheticVideo {
+  std::string name;
+  std::int32_t num_frames = 0;
+  double frame_width = 1920.0;
+  double frame_height = 1080.0;
+  double fps = 30.0;
+  std::vector<GroundTruthTrack> tracks;
+  std::vector<Occluder> occluders;
+  std::vector<GlareEvent> glare_events;
+
+  /// Total GT boxes across all tracks.
+  std::int64_t TotalBoxes() const;
+
+  /// Returns indices into `tracks` of objects present in `frame`.
+  std::vector<std::size_t> TracksInFrame(std::int32_t frame) const;
+};
+
+/// Returns the prefix of `video` covering frames [0, num_frames): tracks
+/// are truncated at the boundary and tracks starting later are dropped.
+/// Used by scaling studies that process one growing video (paper Fig. 4).
+SyntheticVideo TruncateVideo(const SyntheticVideo& video,
+                             std::int32_t num_frames);
+
+}  // namespace tmerge::sim
+
+#endif  // TMERGE_SIM_WORLD_H_

@@ -1,0 +1,159 @@
+#include "tmerge/track/kalman_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::track {
+
+Mat Mat::Identity(std::size_t n) {
+  Mat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Mat Mat::Transpose() const {
+  Mat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Mat Mat::operator*(const Mat& other) const {
+  TMERGE_CHECK(cols_ == other.rows_);
+  Mat out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double v = At(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += v * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Mat Mat::operator+(const Mat& other) const {
+  TMERGE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Mat out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Mat Mat::operator-(const Mat& other) const {
+  TMERGE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Mat out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Mat Mat::Inverse() const {
+  TMERGE_CHECK(rows_ == cols_);
+  std::size_t n = rows_;
+  Mat a = *this;
+  Mat inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.At(r, col)) > std::abs(a.At(pivot, col))) pivot = r;
+    }
+    TMERGE_CHECK(std::abs(a.At(pivot, col)) > 1e-12);
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.At(pivot, c), a.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+    }
+    double d = a.At(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a.At(col, c) /= d;
+      inv.At(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a.At(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+        inv.At(r, c) -= factor * inv.At(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+namespace {
+
+// Converts a box to the SORT measurement [cx, cy, s, r].
+Mat BoxToMeasurement(const core::BoundingBox& box) {
+  Mat z(4, 1);
+  z.At(0, 0) = box.x + box.width / 2.0;
+  z.At(1, 0) = box.y + box.height / 2.0;
+  z.At(2, 0) = std::max(1.0, box.Area());
+  z.At(3, 0) = box.width / std::max(1.0, box.height);
+  return z;
+}
+
+core::BoundingBox StateToBox(const Mat& x) {
+  double s = std::max(1.0, x.At(2, 0));
+  double r = std::max(0.05, x.At(3, 0));
+  double width = std::sqrt(s * r);
+  double height = s / std::max(1e-6, width);
+  return {x.At(0, 0) - width / 2.0, x.At(1, 0) - height / 2.0, width, height};
+}
+
+}  // namespace
+
+KalmanBoxFilter::KalmanBoxFilter(const core::BoundingBox& box)
+    : x_(7, 1),
+      p_(Mat::Identity(7)),
+      f_(Mat::Identity(7)),
+      h_(4, 7),
+      q_(Mat::Identity(7)),
+      r_(Mat::Identity(4)) {
+  Mat z = BoxToMeasurement(box);
+  for (std::size_t i = 0; i < 4; ++i) x_.At(i, 0) = z.At(i, 0);
+
+  // Constant-velocity transition: position += velocity each frame.
+  f_.At(0, 4) = 1.0;
+  f_.At(1, 5) = 1.0;
+  f_.At(2, 6) = 1.0;
+
+  for (std::size_t i = 0; i < 4; ++i) h_.At(i, i) = 1.0;
+
+  // Covariance initialization mirrors the reference SORT implementation:
+  // high uncertainty on the unobserved velocities.
+  for (std::size_t i = 4; i < 7; ++i) p_.At(i, i) = 1000.0;
+  p_.At(2, 2) = 10.0;
+
+  q_.At(6, 6) = 0.01;
+  for (std::size_t i = 4; i < 6; ++i) q_.At(i, i) = 0.01;
+
+  r_.At(2, 2) = 10.0;
+  r_.At(3, 3) = 0.01;
+}
+
+core::BoundingBox KalmanBoxFilter::Predict() {
+  // Keep the area non-negative after the velocity step.
+  if (x_.At(2, 0) + x_.At(6, 0) <= 0.0) x_.At(6, 0) = 0.0;
+  x_ = f_ * x_;
+  p_ = f_ * p_ * f_.Transpose() + q_;
+  return StateToBox(x_);
+}
+
+void KalmanBoxFilter::Update(const core::BoundingBox& box) {
+  Mat z = BoxToMeasurement(box);
+  Mat y = z - h_ * x_;
+  Mat s = h_ * p_ * h_.Transpose() + r_;
+  Mat k = p_ * h_.Transpose() * s.Inverse();
+  x_ = x_ + k * y;
+  p_ = (Mat::Identity(7) - k * h_) * p_;
+}
+
+core::BoundingBox KalmanBoxFilter::StateBox() const { return StateToBox(x_); }
+
+}  // namespace tmerge::track

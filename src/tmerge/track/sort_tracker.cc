@@ -1,0 +1,111 @@
+#include "tmerge/track/sort_tracker.h"
+
+#include <memory>
+#include <vector>
+
+#include "tmerge/track/hungarian.h"
+#include "tmerge/track/kalman_filter.h"
+
+namespace tmerge::track {
+namespace {
+
+struct ActiveTrack {
+  TrackId id;
+  KalmanBoxFilter filter;
+  std::vector<TrackedBox> boxes;
+  std::int32_t time_since_update = 0;
+  core::BoundingBox predicted;
+};
+
+}  // namespace
+
+TrackingResult SortTracker::Run(const detect::DetectionSequence& detections) {
+  TrackingResult result;
+  result.tracker_name = name();
+  result.num_frames = detections.num_frames;
+  result.frame_width = detections.frame_width;
+  result.frame_height = detections.frame_height;
+  result.fps = detections.fps;
+
+  std::vector<ActiveTrack> active;
+  TrackId next_id = 1;
+
+  auto finalize = [&](ActiveTrack& track) {
+    if (static_cast<std::int32_t>(track.boxes.size()) >= config_.min_hits) {
+      Track out;
+      out.id = track.id;
+      out.boxes = std::move(track.boxes);
+      result.tracks.push_back(std::move(out));
+    }
+  };
+
+  for (const auto& frame : detections.frames) {
+    // Predict all active tracks forward one frame.
+    for (auto& track : active) {
+      track.predicted = track.filter.Predict();
+    }
+
+    std::vector<const detect::Detection*> dets;
+    for (const auto& detection : frame.detections) {
+      if (detection.confidence >= config_.min_confidence) {
+        dets.push_back(&detection);
+      }
+    }
+
+    std::vector<int> det_of_track(active.size(), -1);
+    std::vector<char> det_used(dets.size(), 0);
+    if (!active.empty() && !dets.empty()) {
+      std::vector<std::vector<double>> cost(
+          active.size(), std::vector<double>(dets.size(), 0.0));
+      for (std::size_t t = 0; t < active.size(); ++t) {
+        for (std::size_t d = 0; d < dets.size(); ++d) {
+          cost[t][d] = 1.0 - core::Iou(active[t].predicted, dets[d]->box);
+        }
+      }
+      std::vector<int> assignment = SolveAssignment(cost);
+      for (std::size_t t = 0; t < active.size(); ++t) {
+        int d = assignment[t];
+        if (d >= 0 && cost[t][d] <= 1.0 - config_.iou_threshold) {
+          det_of_track[t] = d;
+          det_used[d] = 1;
+        }
+      }
+    }
+
+    for (std::size_t t = 0; t < active.size(); ++t) {
+      if (det_of_track[t] >= 0) {
+        const detect::Detection& det = *dets[det_of_track[t]];
+        active[t].filter.Update(det.box);
+        active[t].boxes.push_back(TrackedBox::FromDetection(det));
+        active[t].time_since_update = 0;
+      } else {
+        ++active[t].time_since_update;
+      }
+    }
+
+    // Terminate stale tracks.
+    std::vector<ActiveTrack> survivors;
+    survivors.reserve(active.size());
+    for (auto& track : active) {
+      if (track.time_since_update > config_.max_age) {
+        finalize(track);
+      } else {
+        survivors.push_back(std::move(track));
+      }
+    }
+    active = std::move(survivors);
+
+    // Births from unmatched detections.
+    for (std::size_t d = 0; d < dets.size(); ++d) {
+      if (det_used[d]) continue;
+      ActiveTrack track{next_id++, KalmanBoxFilter(dets[d]->box), {}, 0, {}};
+      track.boxes.push_back(TrackedBox::FromDetection(*dets[d]));
+      active.push_back(std::move(track));
+    }
+  }
+
+  for (auto& track : active) finalize(track);
+  return result;
+}
+
+}  // namespace tmerge::track

@@ -1,0 +1,47 @@
+#ifndef TMERGE_TRACK_SORT_TRACKER_H_
+#define TMERGE_TRACK_SORT_TRACKER_H_
+
+#include <string>
+
+#include "tmerge/track/track.h"
+
+namespace tmerge::track {
+
+/// Parameters of the SORT tracker (Bewley et al., ICIP 2016).
+struct SortConfig {
+  /// Minimum IoU between a Kalman prediction and a detection to accept the
+  /// Hungarian match.
+  double iou_threshold = 0.3;
+  /// Frames a track survives without a matched detection before it is
+  /// terminated. Occlusion gaps longer than this fragment the track —
+  /// the source of polyonymous tracks.
+  std::int32_t max_age = 9;
+  /// Minimum associated boxes for a track to be emitted (suppresses
+  /// false-positive-born tracks).
+  std::int32_t min_hits = 5;
+  /// Detections below this confidence are ignored.
+  double min_confidence = 0.35;
+};
+
+/// SORT: Kalman-filter motion prediction + IoU cost + Hungarian assignment.
+/// Purely motion-based, so any detection gap longer than `max_age` splits
+/// the track; of the three trackers in this repo it fragments the most,
+/// mirroring its role in the paper's Fig. 11.
+class SortTracker : public Tracker {
+ public:
+  explicit SortTracker(const SortConfig& config = SortConfig())
+      : config_(config) {}
+
+  TrackingResult Run(const detect::DetectionSequence& detections) override;
+
+  std::string name() const override { return "SORT"; }
+
+  const SortConfig& config() const { return config_; }
+
+ private:
+  SortConfig config_;
+};
+
+}  // namespace tmerge::track
+
+#endif  // TMERGE_TRACK_SORT_TRACKER_H_

@@ -1,0 +1,31 @@
+#include "tmerge/track/track.h"
+
+namespace tmerge::track {
+
+TrackedBox TrackedBox::FromDetection(const detect::Detection& detection) {
+  TrackedBox box;
+  box.detection_id = detection.detection_id;
+  box.frame = detection.frame;
+  box.box = detection.box;
+  box.confidence = detection.confidence;
+  box.gt_id = detection.gt_id;
+  box.visibility = detection.visibility;
+  box.glared = detection.glared;
+  box.noise_seed = detection.noise_seed;
+  return box;
+}
+
+std::int64_t TrackingResult::TotalBoxes() const {
+  std::int64_t total = 0;
+  for (const auto& track : tracks) total += track.size();
+  return total;
+}
+
+std::int64_t TrackingResult::IndexOfTrack(TrackId id) const {
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (tracks[i].id == id) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace tmerge::track

@@ -1,0 +1,88 @@
+#ifndef TMERGE_TRACK_TRACK_H_
+#define TMERGE_TRACK_TRACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmerge/core/geometry.h"
+#include "tmerge/detect/detection_simulator.h"
+
+namespace tmerge::track {
+
+/// Tracking identifier assigned by a tracker (the paper's TID). Unique
+/// within one TrackingResult.
+using TrackId = std::int32_t;
+
+/// One tracked, associated detection within a track. Retains the hidden
+/// ground-truth fields of the underlying Detection so the evaluation oracle
+/// and the synthetic ReID model can operate on track boxes; merging
+/// algorithms must only read frame/box/confidence (+ detection_id for
+/// feature caching).
+struct TrackedBox {
+  std::uint64_t detection_id = 0;
+  std::int32_t frame = 0;
+  core::BoundingBox box;
+  double confidence = 1.0;
+
+  // --- Hidden ground truth, forwarded from Detection. ---
+  sim::GtObjectId gt_id = sim::kNoObject;
+  double visibility = 1.0;
+  bool glared = false;
+  std::uint64_t noise_seed = 0;
+
+  /// Builds a TrackedBox from a detector output.
+  static TrackedBox FromDetection(const detect::Detection& detection);
+};
+
+/// A tracker-produced track: the sequence of boxes sharing one TID (the
+/// paper's t_{c,k} with BBoxes B_t). Frames are strictly increasing but may
+/// have gaps where the tracker coasted through missed detections.
+struct Track {
+  TrackId id = 0;
+  std::vector<TrackedBox> boxes;
+
+  std::int32_t first_frame() const {
+    return boxes.empty() ? 0 : boxes.front().frame;
+  }
+  std::int32_t last_frame() const {
+    return boxes.empty() ? -1 : boxes.back().frame;
+  }
+  /// Number of associated boxes |t| (not the frame span).
+  std::int32_t size() const { return static_cast<std::int32_t>(boxes.size()); }
+  /// Frame span, inclusive.
+  std::int32_t span() const {
+    return boxes.empty() ? 0 : last_frame() - first_frame() + 1;
+  }
+};
+
+/// The full output of a tracker on one video.
+struct TrackingResult {
+  std::string tracker_name;
+  std::int32_t num_frames = 0;
+  double frame_width = 0.0;
+  double frame_height = 0.0;
+  double fps = 30.0;
+  std::vector<Track> tracks;
+
+  std::int64_t TotalBoxes() const;
+
+  /// Returns the index into `tracks` for `id`, or -1 if absent.
+  std::int64_t IndexOfTrack(TrackId id) const;
+};
+
+/// Abstract frame-by-frame multi-object tracker.
+class Tracker {
+ public:
+  virtual ~Tracker() = default;
+
+  /// Runs the tracker over an entire detection sequence.
+  virtual TrackingResult Run(const detect::DetectionSequence& detections) = 0;
+
+  /// Human-readable tracker name (used in bench output).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tmerge::track
+
+#endif  // TMERGE_TRACK_TRACK_H_

@@ -1,0 +1,107 @@
+#include "tmerge/core/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::core {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(BoundingBoxTest, Accessors) {
+  BoundingBox box{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(box.Area(), 1200.0);
+  EXPECT_DOUBLE_EQ(box.Right(), 40.0);
+  EXPECT_DOUBLE_EQ(box.Bottom(), 60.0);
+  EXPECT_DOUBLE_EQ(box.Center().x, 25.0);
+  EXPECT_DOUBLE_EQ(box.Center().y, 40.0);
+  EXPECT_TRUE(box.IsValid());
+  EXPECT_FALSE((BoundingBox{0, 0, 0, 10}).IsValid());
+}
+
+TEST(IouTest, IdenticalBoxes) {
+  BoundingBox box{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(Iou(box, box), 1.0);
+}
+
+TEST(IouTest, DisjointBoxes) {
+  EXPECT_DOUBLE_EQ(Iou({0, 0, 10, 10}, {20, 20, 10, 10}), 0.0);
+}
+
+TEST(IouTest, TouchingBoxesHaveZeroIou) {
+  EXPECT_DOUBLE_EQ(Iou({0, 0, 10, 10}, {10, 0, 10, 10}), 0.0);
+}
+
+TEST(IouTest, HalfOverlap) {
+  // Boxes share half of each: intersection 50, union 150.
+  EXPECT_NEAR(Iou({0, 0, 10, 10}, {5, 0, 10, 10}), 50.0 / 150.0, 1e-12);
+}
+
+TEST(IouTest, DegenerateBoxIsZero) {
+  EXPECT_DOUBLE_EQ(Iou({0, 0, 0, 0}, {0, 0, 10, 10}), 0.0);
+}
+
+TEST(IouTest, Symmetric) {
+  BoundingBox a{0, 0, 13, 7}, b{4, 2, 9, 11};
+  EXPECT_DOUBLE_EQ(Iou(a, b), Iou(b, a));
+}
+
+TEST(CoverageFractionTest, FullContainment) {
+  BoundingBox inner{2, 2, 4, 4}, outer{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(CoverageFraction(inner, outer), 1.0);
+  EXPECT_NEAR(CoverageFraction(outer, inner), 16.0 / 100.0, 1e-12);
+}
+
+TEST(CoverageFractionTest, Disjoint) {
+  EXPECT_DOUBLE_EQ(CoverageFraction({0, 0, 5, 5}, {10, 10, 5, 5}), 0.0);
+}
+
+TEST(ClampToFrameTest, InsideUnchanged) {
+  BoundingBox box{10, 10, 20, 20};
+  BoundingBox clamped = ClampToFrame(box, 100, 100);
+  EXPECT_DOUBLE_EQ(clamped.x, 10);
+  EXPECT_DOUBLE_EQ(clamped.width, 20);
+}
+
+TEST(ClampToFrameTest, PartiallyOutside) {
+  BoundingBox clamped = ClampToFrame({-5, 90, 20, 20}, 100, 100);
+  EXPECT_DOUBLE_EQ(clamped.x, 0);
+  EXPECT_DOUBLE_EQ(clamped.width, 15);
+  EXPECT_DOUBLE_EQ(clamped.y, 90);
+  EXPECT_DOUBLE_EQ(clamped.height, 10);
+}
+
+TEST(ClampToFrameTest, FullyOutsideBecomesDegenerate) {
+  BoundingBox clamped = ClampToFrame({200, 200, 20, 20}, 100, 100);
+  EXPECT_FALSE(clamped.IsValid());
+}
+
+// IoU is always within [0, 1] for arbitrary box pairs.
+class IouRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouRangeTest, InUnitInterval) {
+  int seed = GetParam();
+  auto next = [state = static_cast<unsigned>(seed * 2654435761u)]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state % 1000) / 10.0 - 20.0;
+  };
+  for (int i = 0; i < 200; ++i) {
+    BoundingBox a{next(), next(), std::abs(next()) + 0.1,
+                  std::abs(next()) + 0.1};
+    BoundingBox b{next(), next(), std::abs(next()) + 0.1,
+                  std::abs(next()) + 0.1};
+    double iou = Iou(a, b);
+    EXPECT_GE(iou, 0.0);
+    EXPECT_LE(iou, 1.0);
+    double cov = CoverageFraction(a, b);
+    EXPECT_GE(cov, 0.0);
+    EXPECT_LE(cov, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouRangeTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace tmerge::core

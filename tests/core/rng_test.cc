@@ -1,0 +1,158 @@
+#include "tmerge/core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::core {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(rng.Uniform(2.0, 2.0), 2.0);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[rng.Index(5)];
+  for (int count : hits) EXPECT_GT(count, 700);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, BetaMeanMatchesTheory) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Beta(2.0, 6.0);
+  EXPECT_NEAR(sum / kN, 2.0 / 8.0, 0.01);
+}
+
+TEST(RngTest, BetaStaysInUnitInterval) {
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    double b = rng.Beta(0.5, 0.5);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Poisson(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(41);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.Uniform01() == child2.Uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngDeathTest, InvalidArgumentsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Uniform(3.0, 1.0), "TMERGE_CHECK");
+  EXPECT_DEATH(rng.UniformInt(5, 4), "TMERGE_CHECK");
+  EXPECT_DEATH(rng.Index(0), "TMERGE_CHECK");
+  EXPECT_DEATH(rng.Gamma(0.0), "TMERGE_CHECK");
+  EXPECT_DEATH(rng.Beta(0.0, 1.0), "TMERGE_CHECK");
+  EXPECT_DEATH(rng.Poisson(-1.0), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::core

@@ -1,0 +1,51 @@
+#include "tmerge/core/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::core {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.0);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(1.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 1.75);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock;
+  clock.Advance(2.0);
+  clock.Advance(-1.0);
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 2.0);
+}
+
+TEST(SimClockTest, ResetClearsTime) {
+  SimClock clock;
+  clock.Advance(3.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.0);
+}
+
+TEST(WallTimerTest, MonotonicNonNegative) {
+  WallTimer timer;
+  double t1 = timer.Seconds();
+  double t2 = timer.Seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  for (volatile int i = 0; i < 100000; ++i) {
+  }
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace tmerge::core

@@ -1,0 +1,65 @@
+#include "tmerge/core/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::core {
+namespace {
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(1.0, 0), "1");
+  EXPECT_EQ(FormatFixed(-0.5, 3), "-0.500");
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow().AddCell("alpha").AddNumber(1.5, 1);
+  table.AddRow().AddCell("b").AddInt(42);
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter table({"a", "b"});
+  table.AddRow().AddCell("longvalue").AddCell("x");
+  table.AddRow().AddCell("s").AddCell("y");
+  std::ostringstream out;
+  table.Print(out);
+  // Both data lines must place the second column at the same offset.
+  std::istringstream lines(out.str());
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, CellWithoutRowAborts) {
+  TablePrinter table({"a"});
+  EXPECT_DEATH(table.AddCell("x"), "TMERGE_CHECK");
+}
+
+TEST(TablePrinterDeathTest, TooManyCellsAborts) {
+  TablePrinter table({"a"});
+  table.AddRow().AddCell("x");
+  EXPECT_DEATH(table.AddCell("y"), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::core

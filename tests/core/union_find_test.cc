@@ -1,0 +1,82 @@
+#include "tmerge/core/union_find.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::core {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // Already merged.
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+}
+
+TEST(UnionFindTest, TransitiveMerging) {
+  // The polyonymous-merge scenario: accepted pairs (a,b), (b,c) must fuse
+  // all three fragments.
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+}
+
+TEST(UnionFindTest, ChainCollapsesToOneSet) {
+  UnionFind uf(100);
+  for (std::size_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(uf.Find(i), uf.Find(0));
+  }
+}
+
+TEST(UnionFindTest, DisjointGroupsStayDisjoint) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(4, 5);
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_FALSE(uf.Connected(1, 2));
+  EXPECT_FALSE(uf.Connected(3, 4));
+}
+
+TEST(UnionFindDeathTest, OutOfRangeAborts) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Find(3), "TMERGE_CHECK");
+}
+
+// Property: set_count always equals the number of distinct roots.
+class UnionFindPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionFindPropertyTest, SetCountMatchesDistinctRoots) {
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u;
+  auto next = [&state](unsigned mod) {
+    state = state * 1664525u + 1013904223u;
+    return state % mod;
+  };
+  UnionFind uf(50);
+  for (int i = 0; i < 80; ++i) uf.Union(next(50), next(50));
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < 50; ++i) roots.push_back(uf.Find(i));
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  EXPECT_EQ(roots.size(), uf.set_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace tmerge::core

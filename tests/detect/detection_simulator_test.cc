@@ -1,0 +1,171 @@
+#include "tmerge/detect/detection_simulator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tmerge/sim/video_generator.h"
+
+namespace tmerge::detect {
+namespace {
+
+sim::SyntheticVideo TestVideo(std::uint64_t seed = 1) {
+  sim::VideoConfig config;
+  config.num_frames = 300;
+  config.initial_objects = 8;
+  config.spawn_rate = 0.01;
+  config.min_track_length = 50;
+  config.max_track_length = 200;
+  return sim::GenerateVideo(config, seed);
+}
+
+TEST(DetectionSimulatorTest, ShapeMatchesVideo) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectionSequence sequence = SimulateDetections(video, {}, 2);
+  EXPECT_EQ(sequence.num_frames, video.num_frames);
+  EXPECT_EQ(static_cast<std::int32_t>(sequence.frames.size()),
+            video.num_frames);
+  for (std::int32_t f = 0; f < sequence.num_frames; ++f) {
+    EXPECT_EQ(sequence.frames[f].frame, f);
+  }
+}
+
+TEST(DetectionSimulatorTest, Deterministic) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectionSequence a = SimulateDetections(video, {}, 7);
+  DetectionSequence b = SimulateDetections(video, {}, 7);
+  EXPECT_EQ(a.TotalDetections(), b.TotalDetections());
+  for (std::int32_t f = 0; f < a.num_frames; ++f) {
+    ASSERT_EQ(a.frames[f].detections.size(), b.frames[f].detections.size());
+    for (std::size_t d = 0; d < a.frames[f].detections.size(); ++d) {
+      EXPECT_DOUBLE_EQ(a.frames[f].detections[d].box.x,
+                       b.frames[f].detections[d].box.x);
+      EXPECT_EQ(a.frames[f].detections[d].noise_seed,
+                b.frames[f].detections[d].noise_seed);
+    }
+  }
+}
+
+TEST(DetectionSimulatorTest, DetectionIdsUnique) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectionSequence sequence = SimulateDetections(video, {}, 3);
+  std::set<std::uint64_t> ids;
+  for (const auto& frame : sequence.frames) {
+    for (const auto& detection : frame.detections) {
+      EXPECT_TRUE(ids.insert(detection.detection_id).second);
+    }
+  }
+}
+
+TEST(DetectionSimulatorTest, MostVisibleObjectsDetected) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectorConfig config;
+  config.false_positive_rate = 0.0;
+  DetectionSequence sequence = SimulateDetections(video, config, 4);
+  std::int64_t visible_boxes = 0;
+  for (const auto& track : video.tracks) {
+    for (const auto& box : track.boxes) {
+      if (box.visibility >= config.visibility_threshold && !box.glared) {
+        ++visible_boxes;
+      }
+    }
+  }
+  EXPECT_GT(sequence.TotalDetections(),
+            static_cast<std::int64_t>(0.9 * visible_boxes));
+}
+
+TEST(DetectionSimulatorTest, OcclusionSuppressesDetections) {
+  sim::SyntheticVideo video = TestVideo();
+  // Force full occlusion everywhere.
+  for (auto& track : video.tracks) {
+    for (auto& box : track.boxes) box.visibility = 0.0;
+  }
+  DetectorConfig config;
+  config.false_positive_rate = 0.0;
+  DetectionSequence sequence = SimulateDetections(video, config, 5);
+  EXPECT_EQ(sequence.TotalDetections(), 0);
+}
+
+TEST(DetectionSimulatorTest, GlareSuppressesDetections) {
+  sim::SyntheticVideo video = TestVideo();
+  for (auto& track : video.tracks) {
+    for (auto& box : track.boxes) box.glared = true;
+  }
+  DetectorConfig config;
+  config.false_positive_rate = 0.0;
+  config.glare_miss_prob = 1.0;
+  DetectionSequence sequence = SimulateDetections(video, config, 6);
+  EXPECT_EQ(sequence.TotalDetections(), 0);
+}
+
+TEST(DetectionSimulatorTest, FalsePositivesTagged) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectorConfig config;
+  config.false_positive_rate = 1.0;  // Roughly one per frame.
+  DetectionSequence sequence = SimulateDetections(video, config, 8);
+  std::int64_t false_positives = 0;
+  for (const auto& frame : sequence.frames) {
+    for (const auto& detection : frame.detections) {
+      if (detection.gt_id == sim::kNoObject) ++false_positives;
+    }
+  }
+  EXPECT_GT(false_positives, video.num_frames / 2);
+}
+
+TEST(DetectionSimulatorTest, BoxesWithinFrame) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectionSequence sequence = SimulateDetections(video, {}, 9);
+  for (const auto& frame : sequence.frames) {
+    for (const auto& detection : frame.detections) {
+      EXPECT_TRUE(detection.box.IsValid());
+      EXPECT_GE(detection.box.x, 0.0);
+      EXPECT_GE(detection.box.y, 0.0);
+      EXPECT_LE(detection.box.Right(), video.frame_width + 1e-9);
+      EXPECT_LE(detection.box.Bottom(), video.frame_height + 1e-9);
+    }
+  }
+}
+
+TEST(DetectionSimulatorTest, ConfidencesInRange) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectionSequence sequence = SimulateDetections(video, {}, 10);
+  for (const auto& frame : sequence.frames) {
+    for (const auto& detection : frame.detections) {
+      EXPECT_GE(detection.confidence, 0.05);
+      EXPECT_LE(detection.confidence, 1.0);
+    }
+  }
+}
+
+TEST(DetectionSimulatorTest, JitterBoundedByNoiseConfig) {
+  sim::SyntheticVideo video = TestVideo();
+  DetectorConfig config;
+  config.position_noise = 0.0;
+  config.size_noise = 0.0;
+  config.false_positive_rate = 0.0;
+  DetectionSequence sequence = SimulateDetections(video, config, 11);
+  // With zero noise, every detection must exactly match a GT box.
+  for (const auto& frame : sequence.frames) {
+    for (const auto& detection : frame.detections) {
+      bool matched = false;
+      for (const auto& track : video.tracks) {
+        if (track.id != detection.gt_id) continue;
+        std::int32_t offset = detection.frame - track.first_frame();
+        ASSERT_GE(offset, 0);
+        const auto& gt_box = track.boxes[offset].box;
+        // ClampToFrame may trim boxes at the border; interior boxes match.
+        if (std::abs(gt_box.x - detection.box.x) < 1e-9 &&
+            std::abs(gt_box.width - detection.box.width) < 1e-9) {
+          matched = true;
+        } else if (gt_box.x < 0 || gt_box.Right() > video.frame_width ||
+                   gt_box.y < 0 || gt_box.Bottom() > video.frame_height) {
+          matched = true;  // Border box, clamped.
+        }
+      }
+      EXPECT_TRUE(matched);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmerge::detect

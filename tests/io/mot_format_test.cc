@@ -1,0 +1,162 @@
+#include "tmerge/io/mot_format.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "tmerge/reid/synthetic_reid_model.h"
+#include "tmerge/sim/video_generator.h"
+
+namespace tmerge::io {
+namespace {
+
+TEST(MotDetectionIdTest, UniquePerFrameTidPair) {
+  EXPECT_NE(MotDetectionId(1, 2), MotDetectionId(2, 1));
+  EXPECT_NE(MotDetectionId(0, 5), MotDetectionId(0, 6));
+  EXPECT_EQ(MotDetectionId(3, 7), MotDetectionId(3, 7));
+}
+
+TEST(WriteReadTracksTest, RoundTrip) {
+  track::TrackingResult original = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 5, 0), testing::MakeTrack(3, 10, 4, 1)});
+  std::stringstream buffer;
+  WriteTracks(original, buffer);
+
+  auto parsed = ReadTracks(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->tracks.size(), 2u);
+  EXPECT_EQ(parsed->tracks[0].id, 1);
+  EXPECT_EQ(parsed->tracks[1].id, 3);
+  EXPECT_EQ(parsed->tracks[0].size(), 5);
+  EXPECT_EQ(parsed->tracks[1].size(), 4);
+  // Geometry survives.
+  EXPECT_DOUBLE_EQ(parsed->tracks[0].boxes[2].box.x,
+                   original.tracks[0].boxes[2].box.x);
+  EXPECT_DOUBLE_EQ(parsed->tracks[1].boxes[0].confidence,
+                   original.tracks[1].boxes[0].confidence);
+  // Frames survive (1-based on disk, 0-based in memory).
+  EXPECT_EQ(parsed->tracks[1].first_frame(), 10);
+}
+
+TEST(WriteTracksTest, RowsSortedByFrame) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(2, 5, 3, 0), testing::MakeTrack(1, 0, 3, 1)});
+  std::stringstream buffer;
+  WriteTracks(result, buffer);
+  std::string line;
+  std::int64_t last_frame = 0;
+  while (std::getline(buffer, line)) {
+    std::int64_t frame = std::stoll(line.substr(0, line.find(',')));
+    EXPECT_GE(frame, last_frame);
+    last_frame = frame;
+  }
+}
+
+TEST(ReadTracksTest, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer("# a comment\n\n1,1,10,20,30,40,0.9,-1,-1,-1\n");
+  auto parsed = ReadTracks(buffer);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->tracks.size(), 1u);
+  EXPECT_EQ(parsed->tracks[0].first_frame(), 0);
+}
+
+TEST(ReadTracksTest, RejectsMalformedRows) {
+  std::stringstream too_few("1,1,10,20\n");
+  EXPECT_FALSE(ReadTracks(too_few).ok());
+  std::stringstream bad_number("1,1,ten,20,30,40,0.9\n");
+  EXPECT_FALSE(ReadTracks(bad_number).ok());
+  std::stringstream zero_frame("0,1,10,20,30,40,0.9\n");
+  EXPECT_FALSE(ReadTracks(zero_frame).ok());
+  std::stringstream duplicate(
+      "1,1,10,20,30,40,0.9\n1,1,11,21,30,40,0.8\n");
+  EXPECT_FALSE(ReadTracks(duplicate).ok());
+}
+
+TEST(ReadTracksTest, DetectionIdsJoinWithFeatureTable) {
+  std::stringstream tracks("1,7,10,20,30,40,0.9\n2,7,12,20,30,40,0.9\n");
+  auto parsed = ReadTracks(tracks);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->tracks[0].boxes[0].detection_id, MotDetectionId(0, 7));
+  EXPECT_EQ(parsed->tracks[0].boxes[1].detection_id, MotDetectionId(1, 7));
+}
+
+TEST(GroundTruthRoundTripTest, RoundTrip) {
+  sim::SyntheticVideo original =
+      testing::MakeGtVideo({{0, 0, 20}, {1, 5, 30}});
+  original.tracks[0].boxes[3].visibility = 0.25;
+  std::stringstream buffer;
+  WriteGroundTruth(original, buffer);
+  auto parsed = ReadGroundTruth(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->tracks.size(), 2u);
+  EXPECT_EQ(parsed->tracks[0].length(), 20);
+  EXPECT_EQ(parsed->tracks[1].first_frame(), 5);
+  EXPECT_DOUBLE_EQ(parsed->tracks[0].boxes[3].visibility, 0.25);
+}
+
+TEST(ReadGroundTruthTest, RejectsNonConsecutiveTrack) {
+  std::stringstream buffer(
+      "1,0,10,20,30,40,1,1,1\n"
+      "3,0,14,20,30,40,1,1,1\n");  // Frame 2 missing.
+  EXPECT_FALSE(ReadGroundTruth(buffer).ok());
+}
+
+TEST(FeatureTableTest, RoundTripThroughPrecomputedModel) {
+  // Export a synthetic video's tracking output + its embeddings; re-import
+  // and verify the precomputed model reproduces the synthetic features.
+  sim::VideoConfig config;
+  config.num_frames = 120;
+  config.initial_objects = 4;
+  config.min_track_length = 40;
+  config.max_track_length = 100;
+  sim::SyntheticVideo video = sim::GenerateVideo(config, 3);
+  reid::SyntheticReidModel model(video, {}, 9);
+
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 10, video.tracks[0].id),
+       testing::MakeTrack(2, 20, 10, video.tracks[1].id)});
+
+  std::stringstream tracks_buffer, features_buffer;
+  WriteTracks(result, tracks_buffer);
+  WriteFeatureTable(
+      result,
+      [&](const track::TrackedBox& box) {
+        return model.Embed({box.detection_id, box.gt_id, box.visibility,
+                            box.glared, box.noise_seed});
+      },
+      features_buffer);
+
+  auto imported_tracks = ReadTracks(tracks_buffer);
+  ASSERT_TRUE(imported_tracks.ok());
+  auto features = ReadFeatureTable(features_buffer);
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_EQ(features->size(), 20u);
+
+  reid::PrecomputedReidModel precomputed(std::move(*features),
+                                         model.normalization_scale());
+  EXPECT_EQ(precomputed.feature_dim(), model.feature_dim());
+  // Every imported box has a feature.
+  for (const auto& track : imported_tracks->tracks) {
+    for (const auto& box : track.boxes) {
+      EXPECT_TRUE(precomputed.Contains(box.detection_id));
+      reid::CropRef crop{box.detection_id, box.gt_id, box.visibility,
+                         box.glared, box.noise_seed};
+      EXPECT_EQ(precomputed.Embed(crop).size(), model.feature_dim());
+    }
+  }
+}
+
+TEST(ReadFeatureTableTest, RejectsBadInput) {
+  std::stringstream inconsistent("1,1,0.5,0.5\n2,1,0.5\n");
+  EXPECT_FALSE(ReadFeatureTable(inconsistent).ok());
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadFeatureTable(empty).ok());
+  std::stringstream duplicate("1,1,0.5\n1,1,0.6\n");
+  EXPECT_FALSE(ReadFeatureTable(duplicate).ok());
+  std::stringstream bad_value("1,1,abc\n");
+  EXPECT_FALSE(ReadFeatureTable(bad_value).ok());
+}
+
+}  // namespace
+}  // namespace tmerge::io

@@ -1,0 +1,138 @@
+#include "tmerge/merge/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/merge_fixture.h"
+
+namespace tmerge::merge {
+namespace {
+
+TEST(BaselineTest, FindsThePolyonymousPair) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  options.k_fraction = 0.1;
+  SelectionResult result =
+      baseline.Select(scenario.context(), scenario.model(), cache, options);
+  ASSERT_FALSE(result.candidates.empty());
+  // The true pair must rank first: its score is far below every cross pair.
+  EXPECT_EQ(result.candidates[0], scenario.truth_pair());
+}
+
+TEST(BaselineTest, EvaluatesEveryBoxPair) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  SelectionResult result =
+      baseline.Select(scenario.context(), scenario.model(), cache, options);
+  EXPECT_EQ(result.box_pairs_evaluated, scenario.context().TotalBoxPairs());
+  EXPECT_EQ(result.usage.distance_evals, scenario.context().TotalBoxPairs());
+}
+
+TEST(BaselineTest, EmbedsEachCropOnce) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  SelectionResult result =
+      baseline.Select(scenario.context(), scenario.model(), cache, options);
+  std::int64_t total_boxes = scenario.result().TotalBoxes();
+  EXPECT_EQ(result.usage.TotalInferences(), total_boxes);
+  EXPECT_GT(result.usage.cache_hits, 0);
+}
+
+TEST(BaselineTest, ScoresAreMeansInUnitInterval) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  baseline.Select(scenario.context(), scenario.model(), cache, options);
+  ASSERT_EQ(baseline.last_scores().size(), scenario.context().num_pairs());
+  for (double score : baseline.last_scores()) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(BaselineTest, PolyPairScoreLowest) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  baseline.Select(scenario.context(), scenario.model(), cache, options);
+  const auto& context = scenario.context();
+  double poly_score = 0.0;
+  double min_other = 1.0;
+  for (std::size_t p = 0; p < context.num_pairs(); ++p) {
+    if (context.pair(p) == scenario.truth_pair()) {
+      poly_score = baseline.last_scores()[p];
+    } else {
+      min_other = std::min(min_other, baseline.last_scores()[p]);
+    }
+  }
+  EXPECT_LT(poly_score, min_other);
+}
+
+TEST(BaselineTest, BatchedAgreesWithUnbatched) {
+  testing::MergeScenario scenario;
+  SelectorOptions plain_options;
+  plain_options.k_fraction = 0.2;
+  SelectorOptions batched_options = plain_options;
+  batched_options.batch_size = 4;
+
+  BaselineSelector plain, batched;
+  reid::FeatureCache cache1, cache2;
+  SelectionResult r1 =
+      plain.Select(scenario.context(), scenario.model(), cache1, plain_options);
+  SelectionResult r2 = batched.Select(scenario.context(), scenario.model(),
+                                      cache2, batched_options);
+  EXPECT_EQ(r1.candidates, r2.candidates);
+  EXPECT_EQ(plain.last_scores(), batched.last_scores());
+}
+
+TEST(BaselineTest, BatchedIsFasterInSimulatedTime) {
+  testing::MergeScenario scenario;
+  SelectorOptions plain_options;
+  SelectorOptions batched_options;
+  batched_options.batch_size = 10;
+  BaselineSelector selector;
+  reid::FeatureCache cache1, cache2;
+  double plain_time =
+      selector.Select(scenario.context(), scenario.model(), cache1,
+                      plain_options)
+          .simulated_seconds;
+  double batched_time =
+      selector.Select(scenario.context(), scenario.model(), cache2,
+                      batched_options)
+          .simulated_seconds;
+  EXPECT_LT(batched_time, plain_time);
+}
+
+TEST(BaselineTest, CacheSharedAcrossCallsSavesInferences) {
+  testing::MergeScenario scenario;
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  SelectionResult first =
+      baseline.Select(scenario.context(), scenario.model(), cache, options);
+  SelectionResult second =
+      baseline.Select(scenario.context(), scenario.model(), cache, options);
+  EXPECT_GT(first.usage.TotalInferences(), 0);
+  EXPECT_EQ(second.usage.TotalInferences(), 0);  // Everything cached.
+}
+
+TEST(BaselineTest, EmptyContext) {
+  testing::MergeScenario scenario;
+  PairContext empty(scenario.result(), {});
+  BaselineSelector baseline;
+  reid::FeatureCache cache;
+  SelectionResult result =
+      baseline.Select(empty, scenario.model(), cache, {});
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_EQ(result.box_pairs_evaluated, 0);
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,103 @@
+#include "tmerge/merge/lcb.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/merge_fixture.h"
+
+namespace tmerge::merge {
+namespace {
+
+TEST(LcbTest, RespectsIterationBudget) {
+  testing::MergeScenario scenario;
+  LcbSelector lcb(500);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      lcb.Select(scenario.context(), scenario.model(), cache, {});
+  EXPECT_EQ(result.box_pairs_evaluated, 500);
+}
+
+TEST(LcbTest, FindsPolyPairWithModestBudget) {
+  testing::MergeScenario scenario;
+  LcbSelector lcb(800);
+  SelectorOptions options;
+  options.k_fraction = 0.1;
+  reid::FeatureCache cache;
+  SelectionResult result =
+      lcb.Select(scenario.context(), scenario.model(), cache, options);
+  bool found = false;
+  for (const auto& pair : result.candidates) {
+    if (pair == scenario.truth_pair()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LcbTest, ConcentratesSamplingOnLowScorePairs) {
+  // After the initial pass the arg-min rule should pull the promising pair
+  // far more often than the average pair, so the number of distinct crops
+  // touched stays well below everything BL would need.
+  testing::MergeScenario scenario;
+  LcbSelector lcb(2000);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      lcb.Select(scenario.context(), scenario.model(), cache, {});
+  EXPECT_LT(result.usage.TotalInferences(), scenario.result().TotalBoxes());
+}
+
+TEST(LcbTest, DeterministicForSeed) {
+  testing::MergeScenario scenario;
+  LcbSelector lcb(300);
+  SelectorOptions options;
+  options.seed = 99;
+  reid::FeatureCache cache1, cache2;
+  SelectionResult a =
+      lcb.Select(scenario.context(), scenario.model(), cache1, options);
+  SelectionResult b =
+      lcb.Select(scenario.context(), scenario.model(), cache2, options);
+  EXPECT_EQ(a.candidates, b.candidates);
+}
+
+TEST(LcbTest, LargerBatchesDoNotHelp) {
+  // Each LCB iteration embeds at most two crops, so while routing them
+  // through the batched path gains a constant factor, increasing the batch
+  // size B gains nothing — the contrast with TMerge-B the paper draws in
+  // SV-D ("increasing B has little benefit for LCB-B").
+  testing::MergeScenario scenario;
+  LcbSelector lcb(1000);
+  SelectorOptions b2, b100;
+  b2.batch_size = 2;
+  b100.batch_size = 100;
+  reid::FeatureCache cache1, cache2;
+  double t_b2 = lcb.Select(scenario.context(), scenario.model(), cache1, b2)
+                    .simulated_seconds;
+  double t_b100 =
+      lcb.Select(scenario.context(), scenario.model(), cache2, b100)
+          .simulated_seconds;
+  EXPECT_NEAR(t_b100, t_b2, 0.05 * t_b2 + 1e-9);
+}
+
+TEST(LcbTest, ExhaustsTinyUniverseGracefully) {
+  // Budget far above the total number of BBox pairs: LCB must stop once
+  // every pair is fully evaluated.
+  testing::MergeScenario scenario(2);  // Three tracks, few pairs.
+  LcbSelector lcb(1000000);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      lcb.Select(scenario.context(), scenario.model(), cache, {});
+  EXPECT_EQ(result.box_pairs_evaluated, scenario.context().TotalBoxPairs());
+}
+
+TEST(LcbTest, EmptyContext) {
+  testing::MergeScenario scenario;
+  PairContext empty(scenario.result(), {});
+  LcbSelector lcb(100);
+  reid::FeatureCache cache;
+  SelectionResult result = lcb.Select(empty, scenario.model(), cache, {});
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(LcbDeathTest, NonPositiveBudgetAborts) {
+  EXPECT_DEATH(LcbSelector(0), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,121 @@
+#include "tmerge/merge/merger.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::merge {
+namespace {
+
+using testing::MakeResult;
+using testing::MakeTrack;
+
+TEST(OracleFilterTest, KeepsOnlyTruePairs) {
+  std::vector<metrics::TrackPairKey> candidates{{1, 2}, {3, 4}, {5, 6}};
+  std::vector<metrics::TrackPairKey> truth{{3, 4}, {7, 8}};
+  std::vector<metrics::TrackPairKey> accepted =
+      OracleFilter(candidates, truth);
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0], (metrics::TrackPairKey{3, 4}));
+}
+
+TEST(OracleFilterTest, EmptyInputs) {
+  EXPECT_TRUE(OracleFilter({}, {{1, 2}}).empty());
+  EXPECT_TRUE(OracleFilter({{1, 2}}, {}).empty());
+}
+
+TEST(ApplyMergesTest, NoPairsIdentity) {
+  track::TrackingResult result =
+      MakeResult({MakeTrack(1, 0, 10, 0), MakeTrack(2, 20, 10, 1)});
+  track::TrackingResult merged = ApplyMerges(result, {});
+  EXPECT_EQ(merged.tracks.size(), 2u);
+  EXPECT_EQ(merged.TotalBoxes(), result.TotalBoxes());
+}
+
+TEST(ApplyMergesTest, MergesPairIntoSmallestTid) {
+  track::TrackingResult result =
+      MakeResult({MakeTrack(4, 0, 10, 0), MakeTrack(2, 20, 10, 0)});
+  track::TrackingResult merged = ApplyMerges(result, {{2, 4}});
+  ASSERT_EQ(merged.tracks.size(), 1u);
+  EXPECT_EQ(merged.tracks[0].id, 2);
+  EXPECT_EQ(merged.tracks[0].size(), 20);
+}
+
+TEST(ApplyMergesTest, BoxesSortedByFrame) {
+  track::TrackingResult result =
+      MakeResult({MakeTrack(2, 50, 10, 0), MakeTrack(1, 0, 10, 0)});
+  track::TrackingResult merged = ApplyMerges(result, {{1, 2}});
+  ASSERT_EQ(merged.tracks.size(), 1u);
+  const auto& boxes = merged.tracks[0].boxes;
+  for (std::size_t i = 1; i < boxes.size(); ++i) {
+    EXPECT_GT(boxes[i].frame, boxes[i - 1].frame);
+  }
+}
+
+TEST(ApplyMergesTest, TransitiveChainsCollapse) {
+  track::TrackingResult result = MakeResult({MakeTrack(1, 0, 10, 0),
+                                             MakeTrack(2, 20, 10, 0),
+                                             MakeTrack(3, 40, 10, 0)});
+  track::TrackingResult merged = ApplyMerges(result, {{1, 2}, {2, 3}});
+  ASSERT_EQ(merged.tracks.size(), 1u);
+  EXPECT_EQ(merged.tracks[0].id, 1);
+  EXPECT_EQ(merged.tracks[0].size(), 30);
+}
+
+TEST(ApplyMergesTest, DuplicateFramesKeepHigherConfidence) {
+  track::Track a = MakeTrack(1, 0, 5, 0);
+  track::Track b = MakeTrack(2, 4, 5, 0);  // Overlaps frame 4.
+  a.boxes[4].confidence = 0.4;
+  b.boxes[0].confidence = 0.9;
+  b.boxes[0].box.x = 777.0;
+  track::TrackingResult result = MakeResult({a, b});
+  track::TrackingResult merged = ApplyMerges(result, {{1, 2}});
+  ASSERT_EQ(merged.tracks.size(), 1u);
+  EXPECT_EQ(merged.tracks[0].size(), 9);  // 10 boxes, 1 dropped duplicate.
+  bool found = false;
+  for (const auto& box : merged.tracks[0].boxes) {
+    if (box.frame == 4) {
+      EXPECT_DOUBLE_EQ(box.confidence, 0.9);
+      EXPECT_DOUBLE_EQ(box.box.x, 777.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApplyMergesTest, UnknownTidsIgnored) {
+  track::TrackingResult result = MakeResult({MakeTrack(1, 0, 10, 0)});
+  track::TrackingResult merged = ApplyMerges(result, {{1, 99}, {50, 60}});
+  EXPECT_EQ(merged.tracks.size(), 1u);
+}
+
+TEST(ApplyMergesTest, UnrelatedTracksUntouched) {
+  track::TrackingResult result =
+      MakeResult({MakeTrack(1, 0, 10, 0), MakeTrack(2, 20, 10, 0),
+                  MakeTrack(7, 100, 15, 3)});
+  track::TrackingResult merged = ApplyMerges(result, {{1, 2}});
+  ASSERT_EQ(merged.tracks.size(), 2u);
+  EXPECT_EQ(merged.tracks[1].id, 7);
+  EXPECT_EQ(merged.tracks[1].size(), 15);
+}
+
+TEST(ApplyMergesTest, Idempotent) {
+  track::TrackingResult result =
+      MakeResult({MakeTrack(1, 0, 10, 0), MakeTrack(2, 20, 10, 0)});
+  track::TrackingResult once = ApplyMerges(result, {{1, 2}});
+  track::TrackingResult twice = ApplyMerges(once, {{1, 2}});
+  ASSERT_EQ(once.tracks.size(), twice.tracks.size());
+  EXPECT_EQ(once.TotalBoxes(), twice.TotalBoxes());
+}
+
+TEST(ApplyMergesTest, MetadataPreserved) {
+  track::TrackingResult result = MakeResult({MakeTrack(1, 0, 10, 0)});
+  result.fps = 25.0;
+  track::TrackingResult merged = ApplyMerges(result, {});
+  EXPECT_EQ(merged.num_frames, result.num_frames);
+  EXPECT_DOUBLE_EQ(merged.fps, 25.0);
+  EXPECT_NE(merged.tracker_name.find("merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,113 @@
+#include "tmerge/merge/proportional.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/merge_fixture.h"
+#include "tmerge/merge/baseline.h"
+
+namespace tmerge::merge {
+namespace {
+
+TEST(ProportionalTest, SamplesTheConfiguredFraction) {
+  testing::MergeScenario scenario;
+  ProportionalSelector ps(0.25);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      ps.Select(scenario.context(), scenario.model(), cache, {});
+  std::int64_t expected = 0;
+  for (std::size_t p = 0; p < scenario.context().num_pairs(); ++p) {
+    expected += static_cast<std::int64_t>(
+        std::ceil(0.25 * scenario.context().BoxPairCount(p)));
+  }
+  EXPECT_EQ(result.box_pairs_evaluated, expected);
+}
+
+TEST(ProportionalTest, AtLeastOneSamplePerPair) {
+  testing::MergeScenario scenario;
+  ProportionalSelector ps(0.000001);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      ps.Select(scenario.context(), scenario.model(), cache, {});
+  EXPECT_EQ(result.box_pairs_evaluated,
+            static_cast<std::int64_t>(scenario.context().num_pairs()));
+}
+
+TEST(ProportionalTest, FullFractionMatchesBaselineScores) {
+  // eta = 1 samples everything: the ranking must equal BL's.
+  testing::MergeScenario scenario;
+  SelectorOptions options;
+  options.k_fraction = 0.3;
+  ProportionalSelector ps(1.0);
+  BaselineSelector bl;
+  reid::FeatureCache cache1, cache2;
+  SelectionResult ps_result =
+      ps.Select(scenario.context(), scenario.model(), cache1, options);
+  SelectionResult bl_result =
+      bl.Select(scenario.context(), scenario.model(), cache2, options);
+  EXPECT_EQ(ps_result.candidates, bl_result.candidates);
+}
+
+TEST(ProportionalTest, FindsPolyPairAtModestEta) {
+  testing::MergeScenario scenario;
+  SelectorOptions options;
+  options.k_fraction = 0.1;
+  ProportionalSelector ps(0.2);
+  reid::FeatureCache cache;
+  SelectionResult result =
+      ps.Select(scenario.context(), scenario.model(), cache, options);
+  bool found = false;
+  for (const auto& pair : result.candidates) {
+    if (pair == scenario.truth_pair()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProportionalTest, CheaperThanBaseline) {
+  testing::MergeScenario scenario;
+  ProportionalSelector ps(0.05);
+  BaselineSelector bl;
+  reid::FeatureCache cache1, cache2;
+  double ps_time = ps.Select(scenario.context(), scenario.model(), cache1, {})
+                       .simulated_seconds;
+  double bl_time = bl.Select(scenario.context(), scenario.model(), cache2, {})
+                       .simulated_seconds;
+  EXPECT_LT(ps_time, bl_time);
+}
+
+TEST(ProportionalTest, DeterministicForSeed) {
+  testing::MergeScenario scenario;
+  ProportionalSelector ps(0.1);
+  SelectorOptions options;
+  options.seed = 12345;
+  reid::FeatureCache cache1, cache2;
+  SelectionResult a =
+      ps.Select(scenario.context(), scenario.model(), cache1, options);
+  SelectionResult b =
+      ps.Select(scenario.context(), scenario.model(), cache2, options);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.box_pairs_evaluated, b.box_pairs_evaluated);
+}
+
+TEST(ProportionalTest, BatchedReducesSimulatedTime) {
+  testing::MergeScenario scenario;
+  ProportionalSelector ps(0.3);
+  SelectorOptions plain;
+  SelectorOptions batched;
+  batched.batch_size = 10;
+  reid::FeatureCache cache1, cache2;
+  double t_plain = ps.Select(scenario.context(), scenario.model(), cache1,
+                             plain)
+                       .simulated_seconds;
+  double t_batched = ps.Select(scenario.context(), scenario.model(), cache2,
+                               batched)
+                         .simulated_seconds;
+  EXPECT_LT(t_batched, t_plain);
+}
+
+TEST(ProportionalDeathTest, InvalidEtaAborts) {
+  EXPECT_DEATH(ProportionalSelector(0.0), "TMERGE_CHECK");
+  EXPECT_DEATH(ProportionalSelector(1.5), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,68 @@
+#include "tmerge/merge/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::merge {
+namespace {
+
+TEST(TopKCountTest, CeilSemantics) {
+  EXPECT_EQ(TopKCount(0.05, 100), 5u);
+  EXPECT_EQ(TopKCount(0.05, 101), 6u);  // ceil(5.05).
+  EXPECT_EQ(TopKCount(0.05, 10), 1u);   // ceil(0.5).
+  EXPECT_EQ(TopKCount(0.0, 100), 0u);
+  EXPECT_EQ(TopKCount(1.0, 7), 7u);
+}
+
+TEST(TopKCountTest, ClampedToUniverse) {
+  EXPECT_EQ(TopKCount(1.0, 3), 3u);
+  EXPECT_EQ(TopKCount(0.5, 0), 0u);
+}
+
+TEST(TopKCountDeathTest, OutOfRangeKAborts) {
+  EXPECT_DEATH(TopKCount(-0.1, 10), "TMERGE_CHECK");
+  EXPECT_DEATH(TopKCount(1.1, 10), "TMERGE_CHECK");
+}
+
+class TopKByScoreTest : public ::testing::Test {
+ protected:
+  TopKByScoreTest()
+      : result_(testing::MakeResult({testing::MakeTrack(1, 0, 5, 0),
+                                     testing::MakeTrack(2, 10, 5, 0),
+                                     testing::MakeTrack(3, 20, 5, 1),
+                                     testing::MakeTrack(4, 30, 5, 2)})),
+        context_(result_, {{1, 2}, {1, 3}, {1, 4}}) {}
+
+  track::TrackingResult result_;
+  PairContext context_;
+};
+
+TEST_F(TopKByScoreTest, PicksLowestScores) {
+  std::vector<double> scores{0.9, 0.1, 0.5};
+  auto top = internal::TopKByScore(context_, scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (metrics::TrackPairKey{1, 3}));
+  EXPECT_EQ(top[1], (metrics::TrackPairKey{1, 4}));
+}
+
+TEST_F(TopKByScoreTest, DeterministicTieBreak) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  auto top = internal::TopKByScore(context_, scores, 2);
+  EXPECT_EQ(top[0], (metrics::TrackPairKey{1, 2}));
+  EXPECT_EQ(top[1], (metrics::TrackPairKey{1, 3}));
+}
+
+TEST_F(TopKByScoreTest, KLargerThanUniverseClamped) {
+  std::vector<double> scores{0.1, 0.2, 0.3};
+  auto top = internal::TopKByScore(context_, scores, 99);
+  EXPECT_EQ(top.size(), 3u);
+}
+
+TEST_F(TopKByScoreTest, ZeroKEmpty) {
+  std::vector<double> scores{0.1, 0.2, 0.3};
+  EXPECT_TRUE(internal::TopKByScore(context_, scores, 0).empty());
+}
+
+}  // namespace
+}  // namespace tmerge::merge

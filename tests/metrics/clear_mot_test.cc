@@ -1,0 +1,100 @@
+#include "tmerge/metrics/clear_mot.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::metrics {
+namespace {
+
+TEST(ClearMotTest, PerfectTracking) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}});
+  track::TrackingResult result =
+      testing::MakeResult({testing::MakeTrack(1, 0, 100, 0)});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  EXPECT_EQ(mot.gt_boxes, 100);
+  EXPECT_EQ(mot.matches, 100);
+  EXPECT_EQ(mot.misses, 0);
+  EXPECT_EQ(mot.false_positives, 0);
+  EXPECT_EQ(mot.id_switches, 0);
+  EXPECT_DOUBLE_EQ(mot.Mota(), 1.0);
+  EXPECT_GT(mot.motp_iou, 0.99);
+}
+
+TEST(ClearMotTest, EmptyTrackingAllMisses) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 50}});
+  track::TrackingResult result = testing::MakeResult({});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  EXPECT_EQ(mot.misses, 50);
+  EXPECT_DOUBLE_EQ(mot.Mota(), 0.0);
+}
+
+TEST(ClearMotTest, SpuriousTrackCountsFalsePositives) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 50}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 50, 0),
+       testing::MakeTrack(2, 0, 30, sim::kNoObject, 1500.0, 800.0)});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  EXPECT_EQ(mot.false_positives, 30);
+  EXPECT_LT(mot.Mota(), 1.0);
+}
+
+TEST(ClearMotTest, FragmentationCountsIdSwitch) {
+  // One GT covered by two fragments: when the second fragment takes over,
+  // the GT's identity changes once.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 200}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 90, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 110, 90, 0, 100.0 + 220.0, 100.0)});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  EXPECT_EQ(mot.id_switches, 1);
+  EXPECT_EQ(mot.fragmentations, 1);
+  EXPECT_EQ(mot.misses, 20);
+}
+
+TEST(ClearMotTest, GapWithoutIdChangeIsFragmentationOnly) {
+  // The same TID resumes after a gap: fragmentation but no ID switch.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 200}});
+  track::Track track = testing::MakeTrack(1, 0, 90, 0, 100.0, 100.0);
+  track::Track tail = testing::MakeTrack(1, 110, 90, 0, 100.0 + 220.0, 100.0);
+  for (auto& box : tail.boxes) track.boxes.push_back(box);
+  track::TrackingResult result = testing::MakeResult({track});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  EXPECT_EQ(mot.id_switches, 0);
+  EXPECT_EQ(mot.fragmentations, 1);
+}
+
+TEST(ClearMotTest, MergingFragmentsRemovesIdSwitch) {
+  // The before/after comparison behind the paper's Fig. 12: merging the two
+  // fragments' TIDs eliminates the switch.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 200}});
+  track::TrackingResult fragmented = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 90, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 110, 90, 0, 100.0 + 220.0, 100.0)});
+  track::TrackingResult merged = testing::MakeResult({[] {
+    track::Track track = testing::MakeTrack(1, 0, 90, 0, 100.0, 100.0);
+    track::Track tail =
+        testing::MakeTrack(1, 110, 90, 0, 100.0 + 220.0, 100.0);
+    for (auto& box : tail.boxes) track.boxes.push_back(box);
+    return track;
+  }()});
+  EXPECT_EQ(ComputeClearMot(video, fragmented).id_switches, 1);
+  EXPECT_EQ(ComputeClearMot(video, merged).id_switches, 0);
+}
+
+TEST(ClearMotTest, MotaPenalizesAllErrorTypes) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 40, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 60, 40, 0, 100.0 + 120.0, 100.0),
+       testing::MakeTrack(3, 0, 10, sim::kNoObject, 1500.0, 800.0)});
+  ClearMotResult mot = ComputeClearMot(video, result);
+  // 20 misses + 10 FP + 1 IDSW over 100 GT boxes.
+  EXPECT_EQ(mot.misses, 20);
+  EXPECT_EQ(mot.false_positives, 10);
+  EXPECT_EQ(mot.id_switches, 1);
+  EXPECT_NEAR(mot.Mota(), 1.0 - 31.0 / 100.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tmerge::metrics

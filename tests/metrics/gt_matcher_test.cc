@@ -1,0 +1,105 @@
+#include "tmerge/metrics/gt_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::metrics {
+namespace {
+
+TEST(MakePairKeyTest, Canonicalizes) {
+  EXPECT_EQ(MakePairKey(3, 7), (TrackPairKey{3, 7}));
+  EXPECT_EQ(MakePairKey(7, 3), (TrackPairKey{3, 7}));
+}
+
+TEST(MatchTracksToGtTest, PerfectTrackMatches) {
+  // GT object 0 on frames 0..99; a tracker track exactly on top of it.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}});
+  track::TrackingResult result =
+      testing::MakeResult({testing::MakeTrack(1, 0, 100, 0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  ASSERT_EQ(assignment.track_to_gt.size(), 1u);
+  EXPECT_EQ(assignment.track_to_gt[0], 0);
+  EXPECT_GT(assignment.match_fraction[0], 0.99);
+}
+
+TEST(MatchTracksToGtTest, SpatiallyDistantTrackUnmatched) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}});
+  // A track far away from the GT lane.
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0, /*x0=*/1500.0, /*y0=*/900.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  EXPECT_EQ(assignment.track_to_gt[0], sim::kNoObject);
+}
+
+TEST(MatchTracksToGtTest, FragmentsBothMatchSameGt) {
+  // GT 0 lives 0..199; the tracker reports two fragments.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 200}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 80, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 120, 80, 0, 100.0 + 2.0 * 120, 100.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  EXPECT_EQ(assignment.track_to_gt[0], 0);
+  EXPECT_EQ(assignment.track_to_gt[1], 0);
+}
+
+TEST(MatchTracksToGtTest, MajorityFractionEnforced) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 50}});
+  // Track mostly outside the GT's lifetime: only 10 of 60 boxes overlap.
+  track::Track track = testing::MakeTrack(1, 40, 60, 0, 100.0 + 80.0, 100.0);
+  track::TrackingResult result = testing::MakeResult({track});
+  GtMatchConfig config;
+  config.majority_fraction = 0.5;
+  TrackGtAssignment assignment = MatchTracksToGt(video, result, config);
+  EXPECT_EQ(assignment.track_to_gt[0], sim::kNoObject);
+}
+
+TEST(MatchTracksToGtTest, CompetingTracksResolvedPerFrame) {
+  // Two GT objects in different lanes; two tracks each following one lane.
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}, {1, 0, 100}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 100, 1, 100.0, 280.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  EXPECT_EQ(assignment.track_to_gt[0], 0);
+  EXPECT_EQ(assignment.track_to_gt[1], 1);
+}
+
+TEST(PolyonymousPairsTest, FragmentsFormPairs) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 300}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 80, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 100, 80, 0, 100.0 + 200.0, 100.0),
+       testing::MakeTrack(3, 200, 80, 0, 100.0 + 400.0, 100.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  std::vector<TrackPairKey> pairs = PolyonymousPairs(result, assignment);
+  // Three fragments of one GT: C(3,2) = 3 pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (TrackPairKey{1, 2}));
+  EXPECT_EQ(pairs[1], (TrackPairKey{1, 3}));
+  EXPECT_EQ(pairs[2], (TrackPairKey{2, 3}));
+}
+
+TEST(PolyonymousPairsTest, NoPairsForCleanTracking) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 100}, {1, 0, 100}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 100, 1, 100.0, 280.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  EXPECT_TRUE(PolyonymousPairs(result, assignment).empty());
+}
+
+TEST(PolyonymousPairsTest, UnmatchedTracksExcluded) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 200}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 80, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 120, 60, 0, 100.0 + 240.0, 100.0),
+       testing::MakeTrack(9, 0, 50, sim::kNoObject, 1600.0, 900.0)});
+  TrackGtAssignment assignment = MatchTracksToGt(video, result);
+  std::vector<TrackPairKey> pairs = PolyonymousPairs(result, assignment);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (TrackPairKey{1, 2}));
+}
+
+}  // namespace
+}  // namespace tmerge::metrics

@@ -1,0 +1,104 @@
+#include "tmerge/metrics/recall.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::metrics {
+namespace {
+
+TEST(RecallTest, FullRecall) {
+  std::vector<TrackPairKey> truth{{1, 2}, {3, 4}};
+  std::vector<TrackPairKey> candidates{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_DOUBLE_EQ(Recall(candidates, truth), 1.0);
+}
+
+TEST(RecallTest, PartialRecall) {
+  std::vector<TrackPairKey> truth{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  std::vector<TrackPairKey> candidates{{1, 2}, {7, 8}};
+  EXPECT_DOUBLE_EQ(Recall(candidates, truth), 0.5);
+}
+
+TEST(RecallTest, EmptyTruthIsOne) {
+  EXPECT_DOUBLE_EQ(Recall({{1, 2}}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({}, {}), 1.0);
+}
+
+TEST(RecallTest, EmptyCandidatesIsZero) {
+  std::vector<TrackPairKey> truth{{1, 2}};
+  EXPECT_DOUBLE_EQ(Recall({}, truth), 0.0);
+}
+
+TEST(RecallTest, DuplicateCandidatesCountOnce) {
+  std::vector<TrackPairKey> truth{{1, 2}, {3, 4}};
+  std::vector<TrackPairKey> candidates{{1, 2}, {1, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(Recall(candidates, truth), 0.5);
+}
+
+TEST(FpsAtRecallTest, ExactPoint) {
+  std::vector<RecFpsPoint> curve{{0.5, 100.0}, {0.8, 50.0}, {0.95, 10.0}};
+  EXPECT_DOUBLE_EQ(FpsAtRecall(curve, 0.8), 50.0);
+}
+
+TEST(FpsAtRecallTest, Interpolates) {
+  std::vector<RecFpsPoint> curve{{0.6, 100.0}, {1.0, 20.0}};
+  // Halfway between 0.6 and 1.0.
+  EXPECT_DOUBLE_EQ(FpsAtRecall(curve, 0.8), 60.0);
+}
+
+TEST(FpsAtRecallTest, UnreachedTargetIsZero) {
+  std::vector<RecFpsPoint> curve{{0.3, 100.0}, {0.7, 40.0}};
+  EXPECT_DOUBLE_EQ(FpsAtRecall(curve, 0.9), 0.0);
+}
+
+TEST(FpsAtRecallTest, UnsortedInputHandled) {
+  std::vector<RecFpsPoint> curve{{0.9, 10.0}, {0.4, 90.0}, {0.7, 45.0}};
+  EXPECT_DOUBLE_EQ(FpsAtRecall(curve, 0.7), 45.0);
+}
+
+TEST(FpsAtRecallTest, TakesBestFpsAmongQualifyingPoints) {
+  // A method may reach the target REC at several budget settings; report
+  // the fastest.
+  std::vector<RecFpsPoint> curve{{0.85, 30.0}, {0.9, 55.0}, {0.95, 12.0}};
+  EXPECT_DOUBLE_EQ(FpsAtRecall(curve, 0.85), 55.0);
+}
+
+TEST(FpsAtRecallTest, EmptyCurveIsZero) {
+  EXPECT_DOUBLE_EQ(FpsAtRecall({}, 0.5), 0.0);
+}
+
+TEST(PearsonCorrelationTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, IndependentNearZero) {
+  // A balanced pattern with zero covariance.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 1, 2}, {5, 5, 9, 9}), 0.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, ScaleAndShiftInvariant) {
+  std::vector<double> x{0.3, 1.7, 2.2, 5.0, 3.1};
+  std::vector<double> y{1.0, 0.5, 2.5, 4.0, 2.0};
+  double base = PearsonCorrelation(x, y);
+  std::vector<double> shifted;
+  for (double v : x) shifted.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(shifted, y), base, 1e-12);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace tmerge::metrics

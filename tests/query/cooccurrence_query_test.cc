@@ -1,0 +1,99 @@
+#include "tmerge/query/cooccurrence_query.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::query {
+namespace {
+
+TEST(CoOccurrenceQueryTest, FindsJointTriple) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0), testing::MakeTrack(2, 10, 100, 1),
+       testing::MakeTrack(3, 20, 100, 2)});
+  TrackDatabase db(result);
+  CoOccurrenceQuery query;
+  query.min_frames = 50;
+  std::vector<CoOccurrence> answer = RunCoOccurrenceQuery(db, query);
+  ASSERT_EQ(answer.size(), 1u);
+  EXPECT_EQ(answer[0].tids, (std::array<track::TrackId, 3>{1, 2, 3}));
+  EXPECT_EQ(answer[0].start_frame, 20);
+  EXPECT_EQ(answer[0].end_frame, 99);
+  EXPECT_EQ(answer[0].Length(), 80);
+}
+
+TEST(CoOccurrenceQueryTest, ShortJointIntervalExcluded) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 60, 0), testing::MakeTrack(2, 0, 60, 1),
+       testing::MakeTrack(3, 40, 60, 2)});  // Joint interval 40..59 = 20.
+  TrackDatabase db(result);
+  CoOccurrenceQuery query;
+  query.min_frames = 50;
+  EXPECT_TRUE(RunCoOccurrenceQuery(db, query).empty());
+}
+
+TEST(CoOccurrenceQueryTest, PairwiseOverlapInsufficient) {
+  // a&b overlap, b&c overlap, but no three-way intersection.
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0), testing::MakeTrack(2, 80, 100, 1),
+       testing::MakeTrack(3, 160, 100, 2)});
+  TrackDatabase db(result);
+  CoOccurrenceQuery query;
+  query.min_frames = 10;
+  EXPECT_TRUE(RunCoOccurrenceQuery(db, query).empty());
+}
+
+TEST(CoOccurrenceQueryTest, MultipleTriplesEnumerated) {
+  // Four tracks jointly present: C(4,3) = 4 triples.
+  std::vector<track::Track> tracks;
+  for (int i = 1; i <= 4; ++i) {
+    tracks.push_back(testing::MakeTrack(i, 0, 200, i - 1));
+  }
+  TrackDatabase db(testing::MakeResult(std::move(tracks)));
+  CoOccurrenceQuery query;
+  query.min_frames = 50;
+  EXPECT_EQ(RunCoOccurrenceQuery(db, query).size(), 4u);
+}
+
+TEST(CoOccurrenceQueryTest, FragmentationBreaksTriple) {
+  // Three objects jointly present 0..199, but one is fragmented with the
+  // split mid-way: no fragment covers a long-enough joint interval.
+  track::TrackingResult fragmented = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0), testing::MakeTrack(2, 0, 200, 1),
+       testing::MakeTrack(3, 0, 90, 2), testing::MakeTrack(4, 110, 90, 2)});
+  TrackDatabase db(fragmented);
+  CoOccurrenceQuery query;
+  query.min_frames = 100;
+  EXPECT_TRUE(RunCoOccurrenceQuery(db, query).empty());
+
+  // After merging TIDs 3 and 4 (span 0..199) the triple re-appears.
+  track::Track merged = testing::MakeTrack(3, 0, 90, 2);
+  track::Track tail = testing::MakeTrack(3, 110, 90, 2);
+  for (auto& box : tail.boxes) merged.boxes.push_back(box);
+  TrackDatabase merged_db(testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0), testing::MakeTrack(2, 0, 200, 1),
+       merged}));
+  EXPECT_EQ(RunCoOccurrenceQuery(merged_db, query).size(), 1u);
+}
+
+TEST(CoOccurrenceQueryTest, TidsSortedWithinTriple) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(9, 0, 100, 0), testing::MakeTrack(1, 0, 100, 1),
+       testing::MakeTrack(5, 0, 100, 2)});
+  TrackDatabase db(result);
+  CoOccurrenceQuery query;
+  query.min_frames = 50;
+  std::vector<CoOccurrence> answer = RunCoOccurrenceQuery(db, query);
+  ASSERT_EQ(answer.size(), 1u);
+  EXPECT_EQ(answer[0].tids, (std::array<track::TrackId, 3>{1, 5, 9}));
+}
+
+TEST(CoOccurrenceQueryTest, FewerThanThreeTracks) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 100, 0), testing::MakeTrack(2, 0, 100, 1)});
+  TrackDatabase db(result);
+  EXPECT_TRUE(RunCoOccurrenceQuery(db, {}).empty());
+}
+
+}  // namespace
+}  // namespace tmerge::query

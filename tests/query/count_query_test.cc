@@ -1,0 +1,64 @@
+#include "tmerge/query/count_query.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::query {
+namespace {
+
+TEST(CountQueryTest, SelectsLongTracks) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 250, 0), testing::MakeTrack(2, 0, 100, 1),
+       testing::MakeTrack(3, 300, 220, 2)});
+  TrackDatabase db(result);
+  CountQuery query;
+  query.min_frames = 200;
+  std::vector<track::TrackId> answer = RunCountQuery(db, query);
+  EXPECT_EQ(answer, (std::vector<track::TrackId>{1, 3}));
+}
+
+TEST(CountQueryTest, StrictlyGreaterThanThreshold) {
+  track::TrackingResult result =
+      testing::MakeResult({testing::MakeTrack(1, 0, 200, 0)});
+  TrackDatabase db(result);
+  CountQuery query;
+  query.min_frames = 200;  // Span is exactly 200: excluded.
+  EXPECT_TRUE(RunCountQuery(db, query).empty());
+  query.min_frames = 199;
+  EXPECT_EQ(RunCountQuery(db, query).size(), 1u);
+}
+
+TEST(CountQueryTest, FragmentationLosesAnswers) {
+  // The paper's motivating failure: a 300-frame object split into two
+  // 140-frame fragments no longer satisfies "visible > 200 frames".
+  track::TrackingResult fragmented = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 140, 0), testing::MakeTrack(2, 160, 140, 0)});
+  TrackDatabase db(fragmented);
+  CountQuery query;
+  query.min_frames = 200;
+  EXPECT_TRUE(RunCountQuery(db, query).empty());
+
+  // Merged, the span recovers.
+  track::Track merged = testing::MakeTrack(1, 0, 140, 0);
+  track::Track tail = testing::MakeTrack(1, 160, 140, 0);
+  for (auto& box : tail.boxes) merged.boxes.push_back(box);
+  TrackDatabase merged_db(testing::MakeResult({merged}));
+  EXPECT_EQ(RunCountQuery(merged_db, query).size(), 1u);
+}
+
+TEST(CountQueryTest, AnswerSorted) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(9, 0, 300, 0), testing::MakeTrack(2, 400, 300, 1)});
+  TrackDatabase db(result);
+  std::vector<track::TrackId> answer = RunCountQuery(db, {});
+  EXPECT_EQ(answer, (std::vector<track::TrackId>{2, 9}));
+}
+
+TEST(CountQueryTest, EmptyDatabase) {
+  TrackDatabase db(testing::MakeResult({}));
+  EXPECT_TRUE(RunCountQuery(db, {}).empty());
+}
+
+}  // namespace
+}  // namespace tmerge::query

@@ -1,0 +1,120 @@
+#include "tmerge/query/query_recall.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::query {
+namespace {
+
+TEST(CountQueryRecallTest, PerfectTrackingFullRecall) {
+  sim::SyntheticVideo video =
+      testing::MakeGtVideo({{0, 0, 300}, {1, 0, 100}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 300, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 100, 1, 100.0, 280.0)});
+  CountQuery query;
+  query.min_frames = 200;
+  QueryRecall recall = CountQueryRecall(video, result, query);
+  EXPECT_EQ(recall.expected, 1);  // Only GT 0 is long enough.
+  EXPECT_EQ(recall.found, 1);
+  EXPECT_DOUBLE_EQ(recall.Value(), 1.0);
+}
+
+TEST(CountQueryRecallTest, FragmentationDropsRecall) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 300}});
+  track::TrackingResult fragmented = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 140, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 160, 140, 0, 100.0 + 320.0, 100.0)});
+  CountQuery query;
+  query.min_frames = 200;
+  QueryRecall recall = CountQueryRecall(video, fragmented, query);
+  EXPECT_EQ(recall.expected, 1);
+  EXPECT_EQ(recall.found, 0);
+  EXPECT_DOUBLE_EQ(recall.Value(), 0.0);
+}
+
+TEST(CountQueryRecallTest, MergingRestoresRecall) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 300}});
+  track::Track merged = testing::MakeTrack(1, 0, 140, 0, 100.0, 100.0);
+  track::Track tail =
+      testing::MakeTrack(1, 160, 140, 0, 100.0 + 320.0, 100.0);
+  for (auto& box : tail.boxes) merged.boxes.push_back(box);
+  track::TrackingResult result = testing::MakeResult({merged});
+  CountQuery query;
+  query.min_frames = 200;
+  QueryRecall recall = CountQueryRecall(video, result, query);
+  EXPECT_DOUBLE_EQ(recall.Value(), 1.0);
+}
+
+TEST(CountQueryRecallTest, NoExpectedAnswersIsFullRecall) {
+  sim::SyntheticVideo video = testing::MakeGtVideo({{0, 0, 50}});
+  track::TrackingResult result = testing::MakeResult({});
+  CountQuery query;
+  query.min_frames = 200;
+  QueryRecall recall = CountQueryRecall(video, result, query);
+  EXPECT_EQ(recall.expected, 0);
+  EXPECT_DOUBLE_EQ(recall.Value(), 1.0);
+}
+
+TEST(CoOccurrenceQueryRecallTest, PerfectTracking) {
+  sim::SyntheticVideo video = testing::MakeGtVideo(
+      {{0, 0, 200}, {1, 0, 200}, {2, 0, 200}});
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 200, 1, 100.0, 280.0),
+       testing::MakeTrack(3, 0, 200, 2, 100.0, 460.0)});
+  CoOccurrenceQuery query;
+  query.min_frames = 50;
+  QueryRecall recall = CoOccurrenceQueryRecall(video, result, query);
+  EXPECT_EQ(recall.expected, 1);
+  EXPECT_EQ(recall.found, 1);
+}
+
+TEST(CoOccurrenceQueryRecallTest, FragmentationDropsTriple) {
+  sim::SyntheticVideo video = testing::MakeGtVideo(
+      {{0, 0, 200}, {1, 0, 200}, {2, 0, 200}});
+  // GT 2 fragmented: neither fragment sustains a 100-frame joint interval.
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 200, 1, 100.0, 280.0),
+       testing::MakeTrack(3, 0, 90, 2, 100.0, 460.0),
+       testing::MakeTrack(4, 110, 90, 2, 100.0 + 220.0, 460.0)});
+  CoOccurrenceQuery query;
+  query.min_frames = 100;
+  QueryRecall recall = CoOccurrenceQueryRecall(video, result, query);
+  EXPECT_EQ(recall.expected, 1);
+  EXPECT_EQ(recall.found, 0);
+}
+
+TEST(CoOccurrenceQueryRecallTest, FalseTrackCannotFakeATriple) {
+  sim::SyntheticVideo video = testing::MakeGtVideo(
+      {{0, 0, 200}, {1, 0, 200}, {2, 0, 200}});
+  // Only two real tracks plus a spurious one far from any GT.
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 200, 1, 100.0, 280.0),
+       testing::MakeTrack(3, 0, 200, sim::kNoObject, 1600.0, 900.0)});
+  CoOccurrenceQuery query;
+  query.min_frames = 100;
+  QueryRecall recall = CoOccurrenceQueryRecall(video, result, query);
+  EXPECT_EQ(recall.found, 0);
+}
+
+TEST(CoOccurrenceQueryRecallTest, DuplicateMappedTriplesRejected) {
+  sim::SyntheticVideo video = testing::MakeGtVideo(
+      {{0, 0, 200}, {1, 0, 200}, {2, 0, 200}});
+  // Two tracks both map to GT 0 (duplicate identity) plus one on GT 1: the
+  // lifted triple has only two distinct GT ids and must not count.
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 200, 0, 100.0, 100.0),
+       testing::MakeTrack(2, 0, 200, 1, 100.0, 280.0),
+       testing::MakeTrack(3, 0, 200, 1, 104.0, 280.0)});
+  CoOccurrenceQuery query;
+  query.min_frames = 100;
+  QueryRecall recall = CoOccurrenceQueryRecall(video, result, query);
+  EXPECT_EQ(recall.found, 0);
+}
+
+}  // namespace
+}  // namespace tmerge::query

@@ -1,0 +1,57 @@
+#include "tmerge/query/track_database.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::query {
+namespace {
+
+TEST(TrackRecordTest, SpanAndOverlap) {
+  TrackRecord a{1, 10, 59, 50};
+  TrackRecord b{2, 40, 99, 60};
+  TrackRecord c{3, 200, 299, 100};
+  EXPECT_EQ(a.Span(), 50);
+  EXPECT_EQ(a.OverlapWith(b), 20);
+  EXPECT_EQ(b.OverlapWith(a), 20);
+  EXPECT_EQ(a.OverlapWith(c), 0);
+}
+
+TEST(TrackRecordTest, EmptySpan) {
+  TrackRecord record;
+  EXPECT_EQ(record.Span(), 0);
+}
+
+TEST(TrackDatabaseTest, FromTrackingResult) {
+  track::TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 50, 0), testing::MakeTrack(2, 100, 25, 1)});
+  TrackDatabase db(result);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.records()[0].tid, 1);
+  EXPECT_EQ(db.records()[0].first_frame, 0);
+  EXPECT_EQ(db.records()[0].last_frame, 49);
+  EXPECT_EQ(db.records()[0].observed_boxes, 50);
+  EXPECT_EQ(db.records()[1].Span(), 25);
+}
+
+TEST(TrackDatabaseTest, SkipsEmptyTracks) {
+  track::Track empty;
+  empty.id = 9;
+  track::TrackingResult result =
+      testing::MakeResult({testing::MakeTrack(1, 0, 10, 0), empty});
+  TrackDatabase db(result);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(TrackDatabaseTest, FromGroundTruth) {
+  sim::SyntheticVideo video =
+      testing::MakeGtVideo({{0, 0, 100}, {1, 50, 200}});
+  TrackDatabase db = TrackDatabase::FromGroundTruth(video);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.records()[1].tid, 1);
+  EXPECT_EQ(db.records()[1].first_frame, 50);
+  EXPECT_EQ(db.records()[1].Span(), 200);
+}
+
+}  // namespace
+}  // namespace tmerge::query

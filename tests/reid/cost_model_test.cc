@@ -1,0 +1,104 @@
+#include "tmerge/reid/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::reid {
+namespace {
+
+CostModel SimpleModel() {
+  CostModel model;
+  model.single_inference_seconds = 1.0;
+  model.batch_fixed_seconds = 10.0;
+  model.batch_item_seconds = 0.5;
+  model.distance_seconds = 0.1;
+  model.batched_distance_seconds = 0.01;
+  model.per_sample_overhead_seconds = 0.001;
+  return model;
+}
+
+TEST(InferenceMeterTest, StartsAtZero) {
+  InferenceMeter meter(SimpleModel());
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 0.0);
+  EXPECT_EQ(meter.stats().TotalInferences(), 0);
+}
+
+TEST(InferenceMeterTest, SingleInferenceCharges) {
+  InferenceMeter meter(SimpleModel());
+  meter.ChargeSingle(3);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 3.0);
+  EXPECT_EQ(meter.stats().single_inferences, 3);
+}
+
+TEST(InferenceMeterTest, BatchAmortizes) {
+  InferenceMeter meter(SimpleModel());
+  meter.ChargeBatch(100);
+  // 10 + 100 * 0.5 = 60 < 100 singles.
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 60.0);
+  EXPECT_EQ(meter.stats().batch_calls, 1);
+  EXPECT_EQ(meter.stats().batched_crops, 100);
+}
+
+TEST(InferenceMeterTest, EmptyBatchFree) {
+  InferenceMeter meter(SimpleModel());
+  meter.ChargeBatch(0);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 0.0);
+  EXPECT_EQ(meter.stats().batch_calls, 0);
+}
+
+TEST(InferenceMeterTest, SmallBatchCostlierThanSingles) {
+  // The batched path has fixed overhead: a 2-crop batch costs more than 2
+  // plain inferences under this model. This is why LCB-B gains little.
+  InferenceMeter batched(SimpleModel());
+  batched.ChargeBatch(2);
+  InferenceMeter plain(SimpleModel());
+  plain.ChargeSingle(2);
+  EXPECT_GT(batched.elapsed_seconds(), plain.elapsed_seconds());
+}
+
+TEST(InferenceMeterTest, DistancePaths) {
+  InferenceMeter meter(SimpleModel());
+  meter.ChargeDistance(10);
+  meter.ChargeDistanceBatched(10);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 1.0 + 0.1);
+  EXPECT_EQ(meter.stats().distance_evals, 20);
+}
+
+TEST(InferenceMeterTest, OverheadCharges) {
+  InferenceMeter meter(SimpleModel());
+  meter.ChargeOverhead(1000);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 1.0);
+}
+
+TEST(InferenceMeterTest, CacheHitsFreeButCounted) {
+  InferenceMeter meter(SimpleModel());
+  meter.RecordCacheHit(5);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), 0.0);
+  EXPECT_EQ(meter.stats().cache_hits, 5);
+}
+
+TEST(UsageStatsTest, Accumulate) {
+  UsageStats a;
+  a.single_inferences = 1;
+  a.batched_crops = 2;
+  a.batch_calls = 3;
+  a.distance_evals = 4;
+  a.cache_hits = 5;
+  UsageStats b = a;
+  b += a;
+  EXPECT_EQ(b.single_inferences, 2);
+  EXPECT_EQ(b.batched_crops, 4);
+  EXPECT_EQ(b.batch_calls, 6);
+  EXPECT_EQ(b.distance_evals, 8);
+  EXPECT_EQ(b.cache_hits, 10);
+  EXPECT_EQ(b.TotalInferences(), 6);
+}
+
+TEST(InferenceMeterDeathTest, NegativeCountsAbort) {
+  InferenceMeter meter(SimpleModel());
+  EXPECT_DEATH(meter.ChargeSingle(-1), "TMERGE_CHECK");
+  EXPECT_DEATH(meter.ChargeBatch(-1), "TMERGE_CHECK");
+  EXPECT_DEATH(meter.ChargeDistance(-1), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::reid

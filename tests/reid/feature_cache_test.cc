@@ -1,0 +1,105 @@
+#include "tmerge/reid/feature_cache.h"
+
+#include "tmerge/reid/synthetic_reid_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::reid {
+namespace {
+
+class FeatureCacheTest : public ::testing::Test {
+ protected:
+  FeatureCacheTest() {
+    video_.num_frames = 5;
+    sim::GroundTruthTrack track;
+    track.id = 0;
+    track.appearance = sim::AppearanceVector(8, 1.0);
+    sim::GroundTruthBox box;
+    box.frame = 0;
+    box.box = {0, 0, 10, 10};
+    track.boxes.push_back(box);
+    video_.tracks.push_back(std::move(track));
+    model_ = std::make_unique<SyntheticReidModel>(video_, ReidModelConfig{},
+                                                  7);
+  }
+
+  CropRef Crop(std::uint64_t id) const {
+    return CropRef{id, 0, 1.0, false, id * 31};
+  }
+
+  sim::SyntheticVideo video_;
+  std::unique_ptr<SyntheticReidModel> model_;
+  CostModel cost_;
+};
+
+TEST_F(FeatureCacheTest, MissChargesHitDoesNot) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  cache.GetOrEmbed(Crop(1), *model_, meter);
+  EXPECT_EQ(meter.stats().single_inferences, 1);
+  EXPECT_EQ(meter.stats().cache_hits, 0);
+  cache.GetOrEmbed(Crop(1), *model_, meter);
+  EXPECT_EQ(meter.stats().single_inferences, 1);
+  EXPECT_EQ(meter.stats().cache_hits, 1);
+}
+
+TEST_F(FeatureCacheTest, ReturnsSameFeature) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  const FeatureVector& a = cache.GetOrEmbed(Crop(5), *model_, meter);
+  FeatureVector copy = a;
+  const FeatureVector& b = cache.GetOrEmbed(Crop(5), *model_, meter);
+  EXPECT_EQ(copy, b);
+}
+
+TEST_F(FeatureCacheTest, ContainsAndSize) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  EXPECT_FALSE(cache.Contains(3));
+  cache.GetOrEmbed(Crop(3), *model_, meter);
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(FeatureCacheTest, BatchChargesOnlyMisses) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  cache.GetOrEmbed(Crop(1), *model_, meter);
+
+  auto features = cache.GetOrEmbedBatch({Crop(1), Crop(2), Crop(3)}, *model_,
+                                        meter);
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_EQ(meter.stats().batched_crops, 2);  // Crop 1 was cached.
+  EXPECT_EQ(meter.stats().batch_calls, 1);
+  EXPECT_EQ(meter.stats().cache_hits, 1);
+}
+
+TEST_F(FeatureCacheTest, BatchAllCachedNoCall) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  cache.GetOrEmbedBatch({Crop(1), Crop(2)}, *model_, meter);
+  double t = meter.elapsed_seconds();
+  cache.GetOrEmbedBatch({Crop(1), Crop(2)}, *model_, meter);
+  EXPECT_DOUBLE_EQ(meter.elapsed_seconds(), t);
+  EXPECT_EQ(meter.stats().batch_calls, 1);
+}
+
+TEST_F(FeatureCacheTest, BatchReturnsInRequestOrder) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  auto features = cache.GetOrEmbedBatch({Crop(9), Crop(8)}, *model_, meter);
+  EXPECT_EQ(*features[0], model_->Embed(Crop(9)));
+  EXPECT_EQ(*features[1], model_->Embed(Crop(8)));
+}
+
+TEST_F(FeatureCacheTest, DuplicateCropsInOneBatchChargedOnce) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  cache.GetOrEmbedBatch({Crop(4), Crop(4), Crop(4)}, *model_, meter);
+  EXPECT_EQ(meter.stats().batched_crops, 1);
+}
+
+}  // namespace
+}  // namespace tmerge::reid

@@ -1,0 +1,42 @@
+#include "tmerge/reid/feature.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::reid {
+namespace {
+
+TEST(FeatureDistanceTest, Euclidean) {
+  FeatureVector a{0.0, 3.0}, b{4.0, 0.0};
+  EXPECT_DOUBLE_EQ(FeatureDistance(a, b), 5.0);
+}
+
+TEST(FeatureDistanceTest, ZeroForIdentical) {
+  FeatureVector a{1.0, -2.0, 0.5};
+  EXPECT_DOUBLE_EQ(FeatureDistance(a, a), 0.0);
+}
+
+TEST(FeatureDistanceTest, Symmetric) {
+  FeatureVector a{1.0, 2.0}, b{-1.0, 0.0};
+  EXPECT_DOUBLE_EQ(FeatureDistance(a, b), FeatureDistance(b, a));
+}
+
+TEST(FeatureDistanceTest, TriangleInequality) {
+  FeatureVector a{0.0, 0.0}, b{1.0, 2.0}, c{3.0, -1.0};
+  EXPECT_LE(FeatureDistance(a, c),
+            FeatureDistance(a, b) + FeatureDistance(b, c) + 1e-12);
+}
+
+TEST(FeatureDistanceDeathTest, MismatchedSizesAbort) {
+  FeatureVector a{1.0}, b{1.0, 2.0};
+  EXPECT_DEATH(FeatureDistance(a, b), "TMERGE_CHECK");
+}
+
+TEST(CropRefTest, DefaultIsFalsePositive) {
+  CropRef crop;
+  EXPECT_EQ(crop.gt_id, sim::kNoObject);
+  EXPECT_DOUBLE_EQ(crop.visibility, 1.0);
+  EXPECT_FALSE(crop.glared);
+}
+
+}  // namespace
+}  // namespace tmerge::reid

@@ -1,0 +1,52 @@
+#include "tmerge/reid/reid_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::reid {
+namespace {
+
+std::unordered_map<std::uint64_t, FeatureVector> SampleFeatures() {
+  return {{1, {0.0, 1.0}}, {2, {3.0, 5.0}}, {3, {-1.0, 0.5}}};
+}
+
+TEST(PrecomputedReidModelTest, LooksUpByDetectionId) {
+  PrecomputedReidModel model(SampleFeatures(), 10.0);
+  EXPECT_EQ(model.size(), 3u);
+  EXPECT_EQ(model.feature_dim(), 2u);
+  CropRef crop;
+  crop.detection_id = 2;
+  EXPECT_EQ(model.Embed(crop), (FeatureVector{3.0, 5.0}));
+}
+
+TEST(PrecomputedReidModelTest, ContainsChecks) {
+  PrecomputedReidModel model(SampleFeatures(), 10.0);
+  EXPECT_TRUE(model.Contains(1));
+  EXPECT_FALSE(model.Contains(99));
+}
+
+TEST(PrecomputedReidModelTest, NormalizedDistanceUsesScale) {
+  PrecomputedReidModel model(SampleFeatures(), 10.0);
+  FeatureVector a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.NormalizedDistance(a, b), 0.5);
+  // Clamped at 1.
+  FeatureVector far{30.0, 40.0};
+  EXPECT_DOUBLE_EQ(model.NormalizedDistance(a, far), 1.0);
+}
+
+TEST(PrecomputedReidModelDeathTest, MissingFeatureAborts) {
+  PrecomputedReidModel model(SampleFeatures(), 10.0);
+  CropRef crop;
+  crop.detection_id = 99;
+  EXPECT_DEATH(model.Embed(crop), "TMERGE_CHECK");
+}
+
+TEST(PrecomputedReidModelDeathTest, InvalidConstructionAborts) {
+  EXPECT_DEATH(PrecomputedReidModel({}, 10.0), "TMERGE_CHECK");
+  EXPECT_DEATH(PrecomputedReidModel(SampleFeatures(), 0.0), "TMERGE_CHECK");
+  std::unordered_map<std::uint64_t, FeatureVector> ragged{
+      {1, {0.0, 1.0}}, {2, {0.0}}};
+  EXPECT_DEATH(PrecomputedReidModel(std::move(ragged), 10.0), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::reid

@@ -1,0 +1,114 @@
+#include "tmerge/sim/appearance.h"
+
+#include <gtest/gtest.h>
+
+#include "tmerge/core/rng.h"
+
+namespace tmerge::sim {
+namespace {
+
+TEST(DistanceTest, SquaredAndEuclideanAgree) {
+  AppearanceVector a{1.0, 2.0, 3.0}, b{4.0, 6.0, 3.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(DistanceTest, ZeroForIdentical) {
+  AppearanceVector a{0.5, -0.5};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(DistanceDeathTest, SizeMismatchAborts) {
+  AppearanceVector a{1.0}, b{1.0, 2.0};
+  EXPECT_DEATH(SquaredDistance(a, b), "TMERGE_CHECK");
+}
+
+TEST(AppearanceSpaceTest, SamplesHaveConfiguredDim) {
+  core::Rng rng(3);
+  AppearanceSpaceConfig config;
+  config.dim = 24;
+  AppearanceSpace space(config, rng);
+  EXPECT_EQ(space.dim(), 24u);
+  EXPECT_EQ(space.SampleObject(rng).size(), 24u);
+  EXPECT_EQ(space.SampleBackground(rng).size(), 24u);
+}
+
+TEST(AppearanceSpaceTest, ClusterStructure) {
+  // With few clusters and tight within-cluster spread, many object pairs
+  // must be much closer than the typical between-cluster distance.
+  core::Rng rng(7);
+  AppearanceSpaceConfig config;
+  config.dim = 16;
+  config.num_clusters = 3;
+  config.within_cluster_scale = 0.05;
+  AppearanceSpace space(config, rng);
+
+  std::vector<AppearanceVector> objects;
+  for (int i = 0; i < 60; ++i) objects.push_back(space.SampleObject(rng));
+  int near = 0, far = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    for (std::size_t j = i + 1; j < objects.size(); ++j) {
+      double d = EuclideanDistance(objects[i], objects[j]);
+      if (d < 0.5) ++near;
+      if (d > 1.5) ++far;
+    }
+  }
+  // Roughly 1/3 of pairs share a cluster (near); the rest are far.
+  EXPECT_GT(near, 200);
+  EXPECT_GT(far, 400);
+}
+
+TEST(AppearanceSpaceTest, DeterministicGivenSeed) {
+  AppearanceSpaceConfig config;
+  core::Rng rng1(11), rng2(11);
+  AppearanceSpace s1(config, rng1), s2(config, rng2);
+  EXPECT_EQ(s1.SampleObject(rng1), s2.SampleObject(rng2));
+}
+
+TEST(AppearanceSpaceTest, SpatialCoherenceMakesNeighborsLookAlike) {
+  // With full coherence and a tight anchor kernel, objects sampled at the
+  // same location are much closer in appearance space than objects sampled
+  // at opposite corners.
+  core::Rng rng(21);
+  AppearanceSpaceConfig config;
+  config.num_clusters = 8;
+  config.within_cluster_scale = 0.1;
+  config.spatial_coherence = 1.0;
+  config.anchor_bandwidth = 0.08;
+  AppearanceSpace space(config, rng);
+
+  double near_sum = 0.0, far_sum = 0.0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    AppearanceVector a = space.SampleObjectAt(0.2, 0.2, rng);
+    AppearanceVector b = space.SampleObjectAt(0.2, 0.2, rng);
+    AppearanceVector c = space.SampleObjectAt(0.9, 0.9, rng);
+    near_sum += EuclideanDistance(a, b);
+    far_sum += EuclideanDistance(a, c);
+  }
+  EXPECT_LT(near_sum / kTrials, 0.8 * far_sum / kTrials);
+}
+
+TEST(AppearanceSpaceTest, ZeroCoherenceIgnoresLocation) {
+  core::Rng rng1(23), rng2(23);
+  AppearanceSpaceConfig config;
+  config.spatial_coherence = 0.0;
+  AppearanceSpace space1(config, rng1);
+  AppearanceSpace space2(config, rng2);
+  // Identical RNG state + zero coherence: location must not matter.
+  EXPECT_EQ(space1.SampleObjectAt(0.1, 0.1, rng1),
+            space2.SampleObjectAt(0.9, 0.9, rng2));
+}
+
+TEST(AppearanceSpaceDeathTest, InvalidConfigAborts) {
+  core::Rng rng(1);
+  AppearanceSpaceConfig config;
+  config.dim = 0;
+  EXPECT_DEATH(AppearanceSpace(config, rng), "TMERGE_CHECK");
+  config.dim = 4;
+  config.num_clusters = 0;
+  EXPECT_DEATH(AppearanceSpace(config, rng), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::sim

@@ -1,0 +1,71 @@
+#include "tmerge/sim/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::sim {
+namespace {
+
+TEST(DatasetProfileNameTest, Names) {
+  EXPECT_STREQ(DatasetProfileName(DatasetProfile::kMot17Like), "MOT-17");
+  EXPECT_STREQ(DatasetProfileName(DatasetProfile::kKittiLike), "KITTI");
+  EXPECT_STREQ(DatasetProfileName(DatasetProfile::kPathTrackLike),
+               "PathTrack");
+}
+
+TEST(ProfileConfigTest, ProfilesHaveDistinctGeometry) {
+  VideoConfig mot = ProfileConfig(DatasetProfile::kMot17Like);
+  VideoConfig kitti = ProfileConfig(DatasetProfile::kKittiLike);
+  VideoConfig pathtrack = ProfileConfig(DatasetProfile::kPathTrackLike);
+  EXPECT_NE(mot.frame_width, kitti.frame_width);
+  EXPECT_GT(pathtrack.num_frames, mot.num_frames);
+  // PathTrack's L_max is 1000 (Fig. 9 relies on this).
+  EXPECT_EQ(pathtrack.max_track_length, 1000);
+}
+
+TEST(MakeDatasetTest, ProducesRequestedVideos) {
+  Dataset dataset = MakeDataset(DatasetProfile::kKittiLike, 3, 5);
+  EXPECT_EQ(dataset.videos.size(), 3u);
+  EXPECT_EQ(dataset.name, "KITTI");
+  for (const auto& video : dataset.videos) {
+    EXPECT_GT(video.tracks.size(), 0u);
+    EXPECT_EQ(video.num_frames,
+              ProfileConfig(DatasetProfile::kKittiLike).num_frames);
+  }
+}
+
+TEST(MakeDatasetTest, Deterministic) {
+  Dataset a = MakeDataset(DatasetProfile::kMot17Like, 2, 9);
+  Dataset b = MakeDataset(DatasetProfile::kMot17Like, 2, 9);
+  ASSERT_EQ(a.videos.size(), b.videos.size());
+  for (std::size_t i = 0; i < a.videos.size(); ++i) {
+    EXPECT_EQ(a.videos[i].tracks.size(), b.videos[i].tracks.size());
+    EXPECT_EQ(a.videos[i].TotalBoxes(), b.videos[i].TotalBoxes());
+  }
+}
+
+TEST(MakeDatasetTest, VideosVaryWithinDataset) {
+  Dataset dataset = MakeDataset(DatasetProfile::kMot17Like, 4, 11);
+  bool any_difference = false;
+  for (std::size_t i = 1; i < dataset.videos.size(); ++i) {
+    if (dataset.videos[i].tracks.size() != dataset.videos[0].tracks.size()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MakeDatasetTest, TrackLengthsRespectLmax) {
+  Dataset dataset = MakeDataset(DatasetProfile::kPathTrackLike, 2, 13);
+  for (const auto& video : dataset.videos) {
+    for (const auto& track : video.tracks) {
+      EXPECT_LE(track.length(), 1000);
+    }
+  }
+}
+
+TEST(MakeDatasetDeathTest, ZeroVideosAborts) {
+  EXPECT_DEATH(MakeDataset(DatasetProfile::kMot17Like, 0, 1), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::sim

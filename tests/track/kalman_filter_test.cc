@@ -1,0 +1,151 @@
+#include "tmerge/track/kalman_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::track {
+namespace {
+
+TEST(MatTest, IdentityMultiplication) {
+  Mat identity = Mat::Identity(3);
+  Mat m(3, 3);
+  int value = 1;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.At(r, c) = value++;
+  }
+  Mat product = identity * m;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(product.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatTest, TransposeSwapsIndices) {
+  Mat m(2, 3);
+  m.At(0, 1) = 5.0;
+  m.At(1, 2) = 7.0;
+  Mat t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 7.0);
+}
+
+TEST(MatTest, AddSubtract) {
+  Mat a(2, 2), b(2, 2);
+  a.At(0, 0) = 1.0;
+  b.At(0, 0) = 2.0;
+  EXPECT_DOUBLE_EQ((a + b).At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ((a - b).At(0, 0), -1.0);
+}
+
+TEST(MatTest, InverseRoundTrip) {
+  Mat m(3, 3);
+  double values[3][3] = {{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.At(r, c) = values[r][c];
+  }
+  Mat product = m * m.Inverse();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(product.At(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(MatDeathTest, DimensionMismatchAborts) {
+  Mat a(2, 3), b(2, 3);
+  EXPECT_DEATH(a * b, "TMERGE_CHECK");
+  Mat c(2, 2);
+  EXPECT_DEATH(a + c, "TMERGE_CHECK");
+  EXPECT_DEATH(a.Inverse(), "TMERGE_CHECK");
+}
+
+TEST(KalmanBoxFilterTest, InitialStateMatchesBox) {
+  core::BoundingBox box{100, 200, 50, 120};
+  KalmanBoxFilter filter(box);
+  core::BoundingBox state = filter.StateBox();
+  EXPECT_NEAR(state.x, box.x, 1e-6);
+  EXPECT_NEAR(state.y, box.y, 1e-6);
+  EXPECT_NEAR(state.width, box.width, 1e-6);
+  EXPECT_NEAR(state.height, box.height, 1e-6);
+}
+
+TEST(KalmanBoxFilterTest, StationaryObjectStaysPut) {
+  core::BoundingBox box{100, 200, 50, 120};
+  KalmanBoxFilter filter(box);
+  for (int i = 0; i < 20; ++i) {
+    filter.Predict();
+    filter.Update(box);
+  }
+  core::BoundingBox state = filter.StateBox();
+  EXPECT_NEAR(state.x, box.x, 1.0);
+  EXPECT_NEAR(state.y, box.y, 1.0);
+}
+
+TEST(KalmanBoxFilterTest, LearnsConstantVelocity) {
+  core::BoundingBox box{100, 100, 50, 120};
+  KalmanBoxFilter filter(box);
+  for (int i = 1; i <= 30; ++i) {
+    filter.Predict();
+    core::BoundingBox observed = box;
+    observed.x = 100 + 3.0 * i;
+    filter.Update(observed);
+  }
+  // After convergence the one-step prediction should land ~3px right of the
+  // last update.
+  core::BoundingBox predicted = filter.Predict();
+  EXPECT_NEAR(predicted.x, 100 + 3.0 * 31, 1.5);
+}
+
+TEST(KalmanBoxFilterTest, PredictionContinuesThroughGap) {
+  // While detections are missing (occlusion), repeated Predict() must
+  // extrapolate along the learned velocity — the behavior SORT relies on
+  // to bridge short gaps.
+  core::BoundingBox box{100, 100, 50, 120};
+  KalmanBoxFilter filter(box);
+  for (int i = 1; i <= 30; ++i) {
+    filter.Predict();
+    core::BoundingBox observed = box;
+    observed.x = 100 + 2.0 * i;
+    filter.Update(observed);
+  }
+  double last_x = filter.StateBox().x;
+  core::BoundingBox coasted;
+  for (int i = 0; i < 5; ++i) coasted = filter.Predict();
+  EXPECT_GT(coasted.x, last_x + 5.0);
+}
+
+TEST(KalmanBoxFilterTest, AspectRatioStable) {
+  core::BoundingBox box{50, 50, 40, 100};
+  KalmanBoxFilter filter(box);
+  for (int i = 0; i < 10; ++i) {
+    filter.Predict();
+    filter.Update(box);
+  }
+  core::BoundingBox state = filter.StateBox();
+  EXPECT_NEAR(state.width / state.height, 0.4, 0.02);
+}
+
+TEST(KalmanBoxFilterTest, AreaNeverNegative) {
+  core::BoundingBox box{50, 50, 40, 100};
+  KalmanBoxFilter filter(box);
+  // Shrinking observations could drive the area velocity negative; the
+  // filter must clamp rather than produce an invalid box.
+  for (int i = 0; i < 40; ++i) {
+    filter.Predict();
+    core::BoundingBox observed = box;
+    observed.width = std::max(2.0, 40.0 - i);
+    observed.height = std::max(5.0, 100.0 - 2.5 * i);
+    filter.Update(observed);
+  }
+  for (int i = 0; i < 50; ++i) {
+    core::BoundingBox predicted = filter.Predict();
+    EXPECT_GT(predicted.Area(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tmerge::track

@@ -1,0 +1,186 @@
+#include "tmerge/track/sort_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::track {
+namespace {
+
+// Scripted detection sequences let us assert association behavior exactly.
+class SequenceBuilder {
+ public:
+  explicit SequenceBuilder(std::int32_t num_frames) {
+    sequence_.num_frames = num_frames;
+    sequence_.frame_width = 1920;
+    sequence_.frame_height = 1080;
+    sequence_.frames.resize(num_frames);
+    for (std::int32_t f = 0; f < num_frames; ++f) {
+      sequence_.frames[f].frame = f;
+    }
+  }
+
+  void Add(std::int32_t frame, core::BoundingBox box, sim::GtObjectId gt_id,
+           double confidence = 0.9) {
+    detect::Detection detection;
+    detection.detection_id = next_id_++;
+    detection.frame = frame;
+    detection.box = box;
+    detection.confidence = confidence;
+    detection.gt_id = gt_id;
+    detection.noise_seed = next_id_ * 77;
+    sequence_.frames[frame].detections.push_back(detection);
+  }
+
+  /// Adds an object moving right at `dx`/frame over [first, last], skipping
+  /// frames listed in `gaps`.
+  void AddMovingObject(sim::GtObjectId gt_id, std::int32_t first,
+                       std::int32_t last, double x0, double y0,
+                       double dx = 2.0,
+                       const std::vector<std::int32_t>& gaps = {}) {
+    for (std::int32_t f = first; f <= last; ++f) {
+      bool skip = false;
+      for (std::int32_t g : gaps) {
+        if (f == g) skip = true;
+      }
+      if (skip) continue;
+      Add(f, {x0 + dx * (f - first), y0, 60.0, 140.0}, gt_id);
+    }
+  }
+
+  const detect::DetectionSequence& sequence() const { return sequence_; }
+
+ private:
+  detect::DetectionSequence sequence_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST(SortTrackerTest, SingleObjectSingleTrack) {
+  SequenceBuilder builder(50);
+  builder.AddMovingObject(0, 0, 49, 100, 100);
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  ASSERT_EQ(result.tracks.size(), 1u);
+  EXPECT_EQ(result.tracks[0].size(), 50);
+  EXPECT_EQ(result.tracker_name, "SORT");
+}
+
+TEST(SortTrackerTest, ShortGapBridged) {
+  SortConfig config;
+  config.max_age = 6;
+  SequenceBuilder builder(60);
+  builder.AddMovingObject(0, 0, 59, 100, 100, 2.0, {30, 31, 32});
+  SortTracker tracker(config);
+  TrackingResult result = tracker.Run(builder.sequence());
+  ASSERT_EQ(result.tracks.size(), 1u);
+  EXPECT_EQ(result.tracks[0].size(), 57);
+}
+
+TEST(SortTrackerTest, LongGapFragmentsTrack) {
+  // A gap longer than max_age must split the object into two tracks —
+  // the polyonymous-track scenario of the paper's Fig. 1.
+  SortConfig config;
+  config.max_age = 5;
+  SequenceBuilder builder(100);
+  std::vector<std::int32_t> gap;
+  for (std::int32_t f = 40; f < 60; ++f) gap.push_back(f);
+  builder.AddMovingObject(0, 0, 99, 100, 100, 2.0, gap);
+  SortTracker tracker(config);
+  TrackingResult result = tracker.Run(builder.sequence());
+  ASSERT_EQ(result.tracks.size(), 2u);
+  EXPECT_NE(result.tracks[0].id, result.tracks[1].id);
+}
+
+TEST(SortTrackerTest, TwoSeparatedObjectsTwoTracks) {
+  SequenceBuilder builder(40);
+  builder.AddMovingObject(0, 0, 39, 100, 100);
+  builder.AddMovingObject(1, 0, 39, 100, 700);
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  ASSERT_EQ(result.tracks.size(), 2u);
+  // Each track must contain boxes of exactly one GT object.
+  for (const auto& track : result.tracks) {
+    for (const auto& box : track.boxes) {
+      EXPECT_EQ(box.gt_id, track.boxes[0].gt_id);
+    }
+  }
+}
+
+TEST(SortTrackerTest, LowConfidenceIgnored) {
+  SequenceBuilder builder(30);
+  for (std::int32_t f = 0; f < 30; ++f) {
+    builder.Add(f, {100.0 + 2 * f, 100, 60, 140}, 0, /*confidence=*/0.1);
+  }
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  EXPECT_TRUE(result.tracks.empty());
+}
+
+TEST(SortTrackerTest, MinHitsSuppressesBlips) {
+  SortConfig config;
+  config.min_hits = 5;
+  SequenceBuilder builder(30);
+  builder.AddMovingObject(0, 0, 2, 100, 100);  // Only 3 frames.
+  SortTracker tracker(config);
+  TrackingResult result = tracker.Run(builder.sequence());
+  EXPECT_TRUE(result.tracks.empty());
+}
+
+TEST(SortTrackerTest, TrackFramesStrictlyIncreasing) {
+  SequenceBuilder builder(80);
+  builder.AddMovingObject(0, 0, 79, 100, 100, 2.0, {20, 41});
+  builder.AddMovingObject(1, 5, 70, 300, 600, -1.5);
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  for (const auto& track : result.tracks) {
+    for (std::size_t i = 1; i < track.boxes.size(); ++i) {
+      EXPECT_GT(track.boxes[i].frame, track.boxes[i - 1].frame);
+    }
+  }
+}
+
+TEST(SortTrackerTest, TrackIdsUnique) {
+  SequenceBuilder builder(100);
+  for (int o = 0; o < 5; ++o) {
+    builder.AddMovingObject(o, o * 3, 90, 100.0 + 250 * o, 100 + 150 * o);
+  }
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  std::set<TrackId> ids;
+  for (const auto& track : result.tracks) {
+    EXPECT_TRUE(ids.insert(track.id).second);
+  }
+}
+
+TEST(SortTrackerTest, EmptySequenceEmptyResult) {
+  SequenceBuilder builder(10);
+  SortTracker tracker;
+  TrackingResult result = tracker.Run(builder.sequence());
+  EXPECT_TRUE(result.tracks.empty());
+  EXPECT_EQ(result.num_frames, 10);
+}
+
+// Property sweep over max_age: a gap fragments iff it exceeds max_age.
+class SortGapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortGapTest, FragmentationThreshold) {
+  int gap_length = GetParam();
+  SortConfig config;
+  config.max_age = 5;
+  config.min_hits = 3;
+  SequenceBuilder builder(120);
+  std::vector<std::int32_t> gap;
+  for (int f = 50; f < 50 + gap_length; ++f) gap.push_back(f);
+  builder.AddMovingObject(0, 0, 119, 100, 100, 2.0, gap);
+  SortTracker tracker(config);
+  TrackingResult result = tracker.Run(builder.sequence());
+  if (gap_length <= config.max_age) {
+    EXPECT_EQ(result.tracks.size(), 1u) << "gap " << gap_length;
+  } else {
+    EXPECT_EQ(result.tracks.size(), 2u) << "gap " << gap_length;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GapLengths, SortGapTest,
+                         ::testing::Values(1, 3, 5, 6, 8, 15, 30));
+
+}  // namespace
+}  // namespace tmerge::track

@@ -1,0 +1,70 @@
+#include "tmerge/track/track.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tmerge::track {
+namespace {
+
+TEST(TrackedBoxTest, FromDetectionCopiesAllFields) {
+  detect::Detection detection;
+  detection.detection_id = 99;
+  detection.frame = 7;
+  detection.box = {1, 2, 3, 4};
+  detection.confidence = 0.8;
+  detection.gt_id = 5;
+  detection.visibility = 0.6;
+  detection.glared = true;
+  detection.noise_seed = 1234;
+  TrackedBox box = TrackedBox::FromDetection(detection);
+  EXPECT_EQ(box.detection_id, 99u);
+  EXPECT_EQ(box.frame, 7);
+  EXPECT_DOUBLE_EQ(box.box.width, 3.0);
+  EXPECT_DOUBLE_EQ(box.confidence, 0.8);
+  EXPECT_EQ(box.gt_id, 5);
+  EXPECT_DOUBLE_EQ(box.visibility, 0.6);
+  EXPECT_TRUE(box.glared);
+  EXPECT_EQ(box.noise_seed, 1234u);
+}
+
+TEST(TrackTest, EmptyTrack) {
+  Track track;
+  EXPECT_EQ(track.size(), 0);
+  EXPECT_EQ(track.span(), 0);
+  EXPECT_EQ(track.last_frame(), -1);
+}
+
+TEST(TrackTest, FrameAccessors) {
+  Track track = testing::MakeTrack(1, 10, 5, 0);
+  EXPECT_EQ(track.first_frame(), 10);
+  EXPECT_EQ(track.last_frame(), 14);
+  EXPECT_EQ(track.size(), 5);
+  EXPECT_EQ(track.span(), 5);
+}
+
+TEST(TrackTest, SpanCountsGaps) {
+  Track track = testing::MakeTrack(1, 0, 3, 0);
+  TrackedBox late = track.boxes.back();
+  late.frame = 20;
+  track.boxes.push_back(late);
+  EXPECT_EQ(track.size(), 4);
+  EXPECT_EQ(track.span(), 21);
+}
+
+TEST(TrackingResultTest, TotalBoxes) {
+  TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(1, 0, 5, 0), testing::MakeTrack(2, 10, 7, 1)});
+  EXPECT_EQ(result.TotalBoxes(), 12);
+}
+
+TEST(TrackingResultTest, IndexOfTrack) {
+  TrackingResult result = testing::MakeResult(
+      {testing::MakeTrack(5, 0, 3, 0), testing::MakeTrack(9, 0, 3, 1)});
+  EXPECT_EQ(result.IndexOfTrack(5), 0);
+  EXPECT_EQ(result.IndexOfTrack(9), 1);
+  EXPECT_EQ(result.IndexOfTrack(7), -1);
+}
+
+}  // namespace
+}  // namespace tmerge::track
