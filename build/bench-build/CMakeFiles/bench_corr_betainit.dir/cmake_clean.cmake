@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_corr_betainit"
+  "../bench/bench_corr_betainit.pdb"
+  "CMakeFiles/bench_corr_betainit.dir/bench_corr_betainit.cc.o"
+  "CMakeFiles/bench_corr_betainit.dir/bench_corr_betainit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corr_betainit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_corr_betainit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_rec_fps"
+  "../bench/bench_fig05_rec_fps.pdb"
+  "CMakeFiles/bench_fig05_rec_fps.dir/bench_fig05_rec_fps.cc.o"
+  "CMakeFiles/bench_fig05_rec_fps.dir/bench_fig05_rec_fps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_rec_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_batched"
+  "../bench/bench_fig06_batched.pdb"
+  "CMakeFiles/bench_fig06_batched.dir/bench_fig06_batched.cc.o"
+  "CMakeFiles/bench_fig06_batched.dir/bench_fig06_batched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_tau_sweep"
+  "../bench/bench_fig07_tau_sweep.pdb"
+  "CMakeFiles/bench_fig07_tau_sweep.dir/bench_fig07_tau_sweep.cc.o"
+  "CMakeFiles/bench_fig07_tau_sweep.dir/bench_fig07_tau_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tau_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

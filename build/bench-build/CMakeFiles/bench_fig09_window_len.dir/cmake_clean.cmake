@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_window_len"
+  "../bench/bench_fig09_window_len.pdb"
+  "CMakeFiles/bench_fig09_window_len.dir/bench_fig09_window_len.cc.o"
+  "CMakeFiles/bench_fig09_window_len.dir/bench_fig09_window_len.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_window_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_thr_s"
+  "../bench/bench_fig10_thr_s.pdb"
+  "CMakeFiles/bench_fig10_thr_s.dir/bench_fig10_thr_s.cc.o"
+  "CMakeFiles/bench_fig10_thr_s.dir/bench_fig10_thr_s.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_thr_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

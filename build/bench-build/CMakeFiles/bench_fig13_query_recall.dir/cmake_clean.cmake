@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_query_recall"
+  "../bench/bench_fig13_query_recall.pdb"
+  "CMakeFiles/bench_fig13_query_recall.dir/bench_fig13_query_recall.cc.o"
+  "CMakeFiles/bench_fig13_query_recall.dir/bench_fig13_query_recall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_query_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab02_fps_at_rec"
+  "../bench/bench_tab02_fps_at_rec.pdb"
+  "CMakeFiles/bench_tab02_fps_at_rec.dir/bench_tab02_fps_at_rec.cc.o"
+  "CMakeFiles/bench_tab02_fps_at_rec.dir/bench_tab02_fps_at_rec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_fps_at_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

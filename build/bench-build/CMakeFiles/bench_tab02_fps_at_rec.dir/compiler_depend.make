@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab02_fps_at_rec.
+# This may be replaced when dependencies are built.

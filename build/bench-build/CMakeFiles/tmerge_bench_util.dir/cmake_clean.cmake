@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tmerge_bench_util.dir/bench_util.cc.o.d"
+  "libtmerge_bench_util.a"
+  "libtmerge_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

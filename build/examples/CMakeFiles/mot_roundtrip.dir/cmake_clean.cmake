@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_roundtrip.dir/mot_roundtrip.cpp.o"
+  "CMakeFiles/mot_roundtrip.dir/mot_roundtrip.cpp.o.d"
+  "mot_roundtrip"
+  "mot_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_analysis.dir/score_analysis.cpp.o"
+  "CMakeFiles/score_analysis.dir/score_analysis.cpp.o.d"
+  "score_analysis"
+  "score_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/core/beta.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/beta.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/beta.cc.o.d"
+  "/root/repo/src/tmerge/core/geometry.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/geometry.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/geometry.cc.o.d"
+  "/root/repo/src/tmerge/core/rng.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/rng.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/rng.cc.o.d"
+  "/root/repo/src/tmerge/core/sim_clock.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/sim_clock.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/sim_clock.cc.o.d"
+  "/root/repo/src/tmerge/core/status.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/status.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/status.cc.o.d"
+  "/root/repo/src/tmerge/core/table_printer.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/table_printer.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/table_printer.cc.o.d"
+  "/root/repo/src/tmerge/core/union_find.cc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/union_find.cc.o" "gcc" "src/CMakeFiles/tmerge_core.dir/tmerge/core/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_core.dir/tmerge/core/beta.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/beta.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/geometry.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/geometry.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/rng.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/rng.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/sim_clock.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/sim_clock.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/status.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/status.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/table_printer.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/table_printer.cc.o.d"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/union_find.cc.o"
+  "CMakeFiles/tmerge_core.dir/tmerge/core/union_find.cc.o.d"
+  "libtmerge_core.a"
+  "libtmerge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

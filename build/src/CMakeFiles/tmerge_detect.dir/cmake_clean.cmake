@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_detect.dir/tmerge/detect/detection_simulator.cc.o"
+  "CMakeFiles/tmerge_detect.dir/tmerge/detect/detection_simulator.cc.o.d"
+  "libtmerge_detect.a"
+  "libtmerge_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmerge_detect.a"
+)

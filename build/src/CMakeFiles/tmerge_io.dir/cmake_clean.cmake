@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_io.dir/tmerge/io/mot_format.cc.o"
+  "CMakeFiles/tmerge_io.dir/tmerge/io/mot_format.cc.o.d"
+  "libtmerge_io.a"
+  "libtmerge_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

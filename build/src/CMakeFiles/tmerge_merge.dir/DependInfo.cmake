@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/merge/baseline.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/baseline.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/baseline.cc.o.d"
+  "/root/repo/src/tmerge/merge/lcb.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/lcb.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/lcb.cc.o.d"
+  "/root/repo/src/tmerge/merge/merger.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/merger.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/merger.cc.o.d"
+  "/root/repo/src/tmerge/merge/pair_store.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/pair_store.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/pair_store.cc.o.d"
+  "/root/repo/src/tmerge/merge/pipeline.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/pipeline.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/pipeline.cc.o.d"
+  "/root/repo/src/tmerge/merge/proportional.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/proportional.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/proportional.cc.o.d"
+  "/root/repo/src/tmerge/merge/selector.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/selector.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/selector.cc.o.d"
+  "/root/repo/src/tmerge/merge/tmerge.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/tmerge.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/tmerge.cc.o.d"
+  "/root/repo/src/tmerge/merge/window.cc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/window.cc.o" "gcc" "src/CMakeFiles/tmerge_merge.dir/tmerge/merge/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/baseline.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/baseline.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/lcb.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/lcb.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/merger.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/merger.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/pair_store.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/pair_store.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/pipeline.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/pipeline.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/proportional.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/proportional.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/selector.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/selector.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/tmerge.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/tmerge.cc.o.d"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/window.cc.o"
+  "CMakeFiles/tmerge_merge.dir/tmerge/merge/window.cc.o.d"
+  "libtmerge_merge.a"
+  "libtmerge_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

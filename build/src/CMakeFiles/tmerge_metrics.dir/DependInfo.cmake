@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/metrics/clear_mot.cc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/clear_mot.cc.o" "gcc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/clear_mot.cc.o.d"
+  "/root/repo/src/tmerge/metrics/gt_matcher.cc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/gt_matcher.cc.o" "gcc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/gt_matcher.cc.o.d"
+  "/root/repo/src/tmerge/metrics/id_metrics.cc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/id_metrics.cc.o" "gcc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/id_metrics.cc.o.d"
+  "/root/repo/src/tmerge/metrics/recall.cc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/recall.cc.o" "gcc" "src/CMakeFiles/tmerge_metrics.dir/tmerge/metrics/recall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/clear_mot.cc.o"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/clear_mot.cc.o.d"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/gt_matcher.cc.o"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/gt_matcher.cc.o.d"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/id_metrics.cc.o"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/id_metrics.cc.o.d"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/recall.cc.o"
+  "CMakeFiles/tmerge_metrics.dir/tmerge/metrics/recall.cc.o.d"
+  "libtmerge_metrics.a"
+  "libtmerge_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

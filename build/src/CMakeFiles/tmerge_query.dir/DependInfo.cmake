@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/query/cooccurrence_query.cc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/cooccurrence_query.cc.o" "gcc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/cooccurrence_query.cc.o.d"
+  "/root/repo/src/tmerge/query/count_query.cc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/count_query.cc.o" "gcc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/count_query.cc.o.d"
+  "/root/repo/src/tmerge/query/query_recall.cc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/query_recall.cc.o" "gcc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/query_recall.cc.o.d"
+  "/root/repo/src/tmerge/query/track_database.cc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/track_database.cc.o" "gcc" "src/CMakeFiles/tmerge_query.dir/tmerge/query/track_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

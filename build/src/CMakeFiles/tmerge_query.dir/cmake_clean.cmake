@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_query.dir/tmerge/query/cooccurrence_query.cc.o"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/cooccurrence_query.cc.o.d"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/count_query.cc.o"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/count_query.cc.o.d"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/query_recall.cc.o"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/query_recall.cc.o.d"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/track_database.cc.o"
+  "CMakeFiles/tmerge_query.dir/tmerge/query/track_database.cc.o.d"
+  "libtmerge_query.a"
+  "libtmerge_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

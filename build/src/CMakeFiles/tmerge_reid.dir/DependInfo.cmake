@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/reid/cost_model.cc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/cost_model.cc.o" "gcc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/cost_model.cc.o.d"
+  "/root/repo/src/tmerge/reid/feature.cc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/feature.cc.o" "gcc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/feature.cc.o.d"
+  "/root/repo/src/tmerge/reid/feature_cache.cc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/feature_cache.cc.o" "gcc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/feature_cache.cc.o.d"
+  "/root/repo/src/tmerge/reid/reid_model.cc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/reid_model.cc.o" "gcc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/reid_model.cc.o.d"
+  "/root/repo/src/tmerge/reid/synthetic_reid_model.cc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/synthetic_reid_model.cc.o" "gcc" "src/CMakeFiles/tmerge_reid.dir/tmerge/reid/synthetic_reid_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/cost_model.cc.o"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/cost_model.cc.o.d"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/feature.cc.o"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/feature.cc.o.d"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/feature_cache.cc.o"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/feature_cache.cc.o.d"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/reid_model.cc.o"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/reid_model.cc.o.d"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/synthetic_reid_model.cc.o"
+  "CMakeFiles/tmerge_reid.dir/tmerge/reid/synthetic_reid_model.cc.o.d"
+  "libtmerge_reid.a"
+  "libtmerge_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tmerge_reid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/sim/appearance.cc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/appearance.cc.o" "gcc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/appearance.cc.o.d"
+  "/root/repo/src/tmerge/sim/dataset.cc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/dataset.cc.o" "gcc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/dataset.cc.o.d"
+  "/root/repo/src/tmerge/sim/motion.cc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/motion.cc.o" "gcc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/motion.cc.o.d"
+  "/root/repo/src/tmerge/sim/video_generator.cc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/video_generator.cc.o" "gcc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/video_generator.cc.o.d"
+  "/root/repo/src/tmerge/sim/world.cc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/world.cc.o" "gcc" "src/CMakeFiles/tmerge_sim.dir/tmerge/sim/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

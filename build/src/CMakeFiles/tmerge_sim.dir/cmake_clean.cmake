@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/appearance.cc.o"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/appearance.cc.o.d"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/dataset.cc.o"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/dataset.cc.o.d"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/motion.cc.o"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/motion.cc.o.d"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/video_generator.cc.o"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/video_generator.cc.o.d"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/world.cc.o"
+  "CMakeFiles/tmerge_sim.dir/tmerge/sim/world.cc.o.d"
+  "libtmerge_sim.a"
+  "libtmerge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

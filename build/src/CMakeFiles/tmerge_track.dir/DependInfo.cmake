@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmerge/track/appearance_tracker.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/appearance_tracker.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/appearance_tracker.cc.o.d"
+  "/root/repo/src/tmerge/track/hungarian.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/hungarian.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/hungarian.cc.o.d"
+  "/root/repo/src/tmerge/track/kalman_filter.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/kalman_filter.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/kalman_filter.cc.o.d"
+  "/root/repo/src/tmerge/track/regression_tracker.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/regression_tracker.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/regression_tracker.cc.o.d"
+  "/root/repo/src/tmerge/track/sort_tracker.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/sort_tracker.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/sort_tracker.cc.o.d"
+  "/root/repo/src/tmerge/track/track.cc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/track.cc.o" "gcc" "src/CMakeFiles/tmerge_track.dir/tmerge/track/track.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

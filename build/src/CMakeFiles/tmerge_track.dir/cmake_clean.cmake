@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_track.dir/tmerge/track/appearance_tracker.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/appearance_tracker.cc.o.d"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/hungarian.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/hungarian.cc.o.d"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/kalman_filter.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/kalman_filter.cc.o.d"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/regression_tracker.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/regression_tracker.cc.o.d"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/sort_tracker.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/sort_tracker.cc.o.d"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/track.cc.o"
+  "CMakeFiles/tmerge_track.dir/tmerge/track/track.cc.o.d"
+  "libtmerge_track.a"
+  "libtmerge_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

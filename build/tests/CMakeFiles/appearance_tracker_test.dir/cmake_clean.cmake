@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appearance_tracker_test.dir/track/appearance_tracker_test.cc.o"
+  "CMakeFiles/appearance_tracker_test.dir/track/appearance_tracker_test.cc.o.d"
+  "appearance_tracker_test"
+  "appearance_tracker_test.pdb"
+  "appearance_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appearance_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beta_test.dir/core/beta_test.cc.o"
+  "CMakeFiles/beta_test.dir/core/beta_test.cc.o.d"
+  "beta_test"
+  "beta_test.pdb"
+  "beta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clear_mot_test.dir/metrics/clear_mot_test.cc.o"
+  "CMakeFiles/clear_mot_test.dir/metrics/clear_mot_test.cc.o.d"
+  "clear_mot_test"
+  "clear_mot_test.pdb"
+  "clear_mot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clear_mot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

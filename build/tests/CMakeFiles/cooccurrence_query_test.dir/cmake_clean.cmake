@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooccurrence_query_test.dir/query/cooccurrence_query_test.cc.o"
+  "CMakeFiles/cooccurrence_query_test.dir/query/cooccurrence_query_test.cc.o.d"
+  "cooccurrence_query_test"
+  "cooccurrence_query_test.pdb"
+  "cooccurrence_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooccurrence_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

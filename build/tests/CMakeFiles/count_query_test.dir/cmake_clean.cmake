@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_query_test.dir/query/count_query_test.cc.o"
+  "CMakeFiles/count_query_test.dir/query/count_query_test.cc.o.d"
+  "count_query_test"
+  "count_query_test.pdb"
+  "count_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_simulator_test.dir/detect/detection_simulator_test.cc.o"
+  "CMakeFiles/detection_simulator_test.dir/detect/detection_simulator_test.cc.o.d"
+  "detection_simulator_test"
+  "detection_simulator_test.pdb"
+  "detection_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_matcher_test.dir/metrics/gt_matcher_test.cc.o"
+  "CMakeFiles/gt_matcher_test.dir/metrics/gt_matcher_test.cc.o.d"
+  "gt_matcher_test"
+  "gt_matcher_test.pdb"
+  "gt_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

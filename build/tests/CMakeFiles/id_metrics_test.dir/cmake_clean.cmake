@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_metrics_test.dir/metrics/id_metrics_test.cc.o"
+  "CMakeFiles/id_metrics_test.dir/metrics/id_metrics_test.cc.o.d"
+  "id_metrics_test"
+  "id_metrics_test.pdb"
+  "id_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalman_filter_test.dir/track/kalman_filter_test.cc.o"
+  "CMakeFiles/kalman_filter_test.dir/track/kalman_filter_test.cc.o.d"
+  "kalman_filter_test"
+  "kalman_filter_test.pdb"
+  "kalman_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalman_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcb_test.dir/merge/lcb_test.cc.o"
+  "CMakeFiles/lcb_test.dir/merge/lcb_test.cc.o.d"
+  "lcb_test"
+  "lcb_test.pdb"
+  "lcb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

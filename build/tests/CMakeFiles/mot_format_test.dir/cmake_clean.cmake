@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_format_test.dir/io/mot_format_test.cc.o"
+  "CMakeFiles/mot_format_test.dir/io/mot_format_test.cc.o.d"
+  "mot_format_test"
+  "mot_format_test.pdb"
+  "mot_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

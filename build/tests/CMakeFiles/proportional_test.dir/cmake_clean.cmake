@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proportional_test.dir/merge/proportional_test.cc.o"
+  "CMakeFiles/proportional_test.dir/merge/proportional_test.cc.o.d"
+  "proportional_test"
+  "proportional_test.pdb"
+  "proportional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proportional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

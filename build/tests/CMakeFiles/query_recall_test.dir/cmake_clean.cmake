@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_recall_test.dir/query/query_recall_test.cc.o"
+  "CMakeFiles/query_recall_test.dir/query/query_recall_test.cc.o.d"
+  "query_recall_test"
+  "query_recall_test.pdb"
+  "query_recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

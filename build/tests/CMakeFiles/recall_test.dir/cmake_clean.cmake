@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recall_test.dir/metrics/recall_test.cc.o"
+  "CMakeFiles/recall_test.dir/metrics/recall_test.cc.o.d"
+  "recall_test"
+  "recall_test.pdb"
+  "recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_tracker_test.dir/track/regression_tracker_test.cc.o"
+  "CMakeFiles/regression_tracker_test.dir/track/regression_tracker_test.cc.o.d"
+  "regression_tracker_test"
+  "regression_tracker_test.pdb"
+  "regression_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reid/reid_model_test.cc" "tests/CMakeFiles/reid_model_test.dir/reid/reid_model_test.cc.o" "gcc" "tests/CMakeFiles/reid_model_test.dir/reid/reid_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmerge_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmerge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

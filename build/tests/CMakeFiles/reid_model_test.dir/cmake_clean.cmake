@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reid_model_test.dir/reid/reid_model_test.cc.o"
+  "CMakeFiles/reid_model_test.dir/reid/reid_model_test.cc.o.d"
+  "reid_model_test"
+  "reid_model_test.pdb"
+  "reid_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

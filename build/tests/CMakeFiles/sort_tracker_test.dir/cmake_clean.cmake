@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_tracker_test.dir/track/sort_tracker_test.cc.o"
+  "CMakeFiles/sort_tracker_test.dir/track/sort_tracker_test.cc.o.d"
+  "sort_tracker_test"
+  "sort_tracker_test.pdb"
+  "sort_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_reid_model_test.dir/reid/synthetic_reid_model_test.cc.o"
+  "CMakeFiles/synthetic_reid_model_test.dir/reid/synthetic_reid_model_test.cc.o.d"
+  "synthetic_reid_model_test"
+  "synthetic_reid_model_test.pdb"
+  "synthetic_reid_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_reid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

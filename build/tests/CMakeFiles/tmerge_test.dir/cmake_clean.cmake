@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmerge_test.dir/merge/tmerge_test.cc.o"
+  "CMakeFiles/tmerge_test.dir/merge/tmerge_test.cc.o.d"
+  "tmerge_test"
+  "tmerge_test.pdb"
+  "tmerge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmerge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_database_test.dir/query/track_database_test.cc.o"
+  "CMakeFiles/track_database_test.dir/query/track_database_test.cc.o.d"
+  "track_database_test"
+  "track_database_test.pdb"
+  "track_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

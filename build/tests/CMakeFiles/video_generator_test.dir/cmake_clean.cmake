@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_generator_test.dir/sim/video_generator_test.cc.o"
+  "CMakeFiles/video_generator_test.dir/sim/video_generator_test.cc.o.d"
+  "video_generator_test"
+  "video_generator_test.pdb"
+  "video_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
