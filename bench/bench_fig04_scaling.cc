@@ -2,16 +2,121 @@
 // as video length grows (PathTrack-like videos, L = 2000 windows).
 // Reproduces the motivating scaling wall: both time and pairs grow
 // super-linearly with video length.
+//
+// Second section: thread-scaling of the dataset-level pipeline. Prepares a
+// multi-profile dataset and runs PrepareDataset + EvaluateDataset at 1, 2,
+// 4 and 8 worker threads, asserting bit-identical results and reporting
+// the wall-clock speedup as a machine-readable BENCH_JSON line.
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
 #include <iostream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
+#include "tmerge/core/status.h"
 #include "tmerge/core/table_printer.h"
 #include "tmerge/merge/baseline.h"
+#include "tmerge/merge/tmerge.h"
 #include "tmerge/track/sort_tracker.h"
 
 namespace tmerge::bench {
 namespace {
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Videos from all three profiles glued into one dataset, so the parallel
+// path is exercised on heterogeneous per-video workloads.
+sim::Dataset MultiProfileDataset() {
+  sim::Dataset combined;
+  combined.name = "multi-profile";
+  for (auto [profile, count] :
+       {std::pair{sim::DatasetProfile::kMot17Like, 4},
+        std::pair{sim::DatasetProfile::kKittiLike, 4},
+        std::pair{sim::DatasetProfile::kPathTrackLike, 1}}) {
+    sim::Dataset part = sim::MakeDataset(profile, count, /*seed=*/515151);
+    for (auto& video : part.videos) {
+      combined.videos.push_back(std::move(video));
+    }
+  }
+  return combined;
+}
+
+void RunThreadScaling() {
+  sim::Dataset dataset = MultiProfileDataset();
+  track::SortTracker tracker;
+  merge::PipelineConfig config;
+  config.window.length = 2000;
+  config.window.single_window = false;
+
+  std::cout << "\n=== Thread scaling: PrepareDataset + EvaluateDataset "
+            << "(multi-profile, " << dataset.videos.size() << " videos, "
+            << "hardware_concurrency="
+            << std::thread::hardware_concurrency() << ") ===\n";
+
+  core::TablePrinter table({"threads", "prepare-s", "evaluate-s", "speedup",
+                            "rec", "hits", "candidates"});
+  std::vector<merge::PreparedVideo> prepared;
+  merge::TMergeSelector selector;
+  merge::SelectorOptions options;
+  options.k_fraction = 0.05;
+
+  double serial_total = 0.0;
+  double best_speedup = 1.0;
+  merge::EvalResult reference;
+  for (int threads : {1, 2, 4, 8}) {
+    config.num_threads = threads;
+    double prepare_s = WallSeconds([&] {
+      prepared = merge::PrepareDataset(dataset, tracker, config);
+    });
+    merge::EvalResult eval;
+    double evaluate_s = WallSeconds([&] {
+      eval = merge::EvaluateDataset(prepared, selector, options, threads);
+    });
+    if (threads == 1) {
+      serial_total = prepare_s + evaluate_s;
+      reference = eval;
+    } else {
+      // The determinism contract: parallel results are bit-identical to
+      // the serial reference path.
+      TMERGE_CHECK(eval.rec == reference.rec);
+      TMERGE_CHECK(eval.hits == reference.hits);
+      TMERGE_CHECK(eval.candidates == reference.candidates);
+      TMERGE_CHECK(eval.usage.TotalInferences() ==
+                   reference.usage.TotalInferences());
+    }
+    double speedup = serial_total / (prepare_s + evaluate_s);
+    best_speedup = std::max(best_speedup, speedup);
+    table.AddRow()
+        .AddInt(threads)
+        .AddNumber(prepare_s, 3)
+        .AddNumber(evaluate_s, 3)
+        .AddNumber(speedup, 2)
+        .AddNumber(eval.rec, 4)
+        .AddInt(eval.hits)
+        .AddInt(static_cast<long long>(eval.candidates.size()));
+    std::cout << "BENCH_JSON {\"bench\":\"fig04_thread_scaling\","
+              << "\"threads\":" << threads
+              << ",\"prepare_seconds\":" << prepare_s
+              << ",\"evaluate_seconds\":" << evaluate_s
+              << ",\"speedup_vs_serial\":" << speedup
+              << ",\"rec\":" << eval.rec << ",\"hits\":" << eval.hits
+              << "}\n";
+  }
+  table.Print(std::cout);
+  std::cout << "Best speedup vs serial: " << best_speedup
+            << "x (expect ~min(threads, cores) on a multi-core host; "
+               "results above are bit-identical across thread counts).\n";
+}
 
 void Run() {
   core::TablePrinter table({"frames", "minutes", "tracks", "pairs",
@@ -63,5 +168,6 @@ void Run() {
 
 int main() {
   tmerge::bench::Run();
+  tmerge::bench::RunThreadScaling();
   return 0;
 }

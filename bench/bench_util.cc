@@ -1,7 +1,9 @@
 #include "bench_util.h"
 
+#include <cstdlib>
 #include <memory>
 
+#include "tmerge/core/thread_pool.h"
 #include "tmerge/merge/baseline.h"
 #include "tmerge/merge/lcb.h"
 #include "tmerge/merge/proportional.h"
@@ -44,10 +46,19 @@ const char* TrackerKindName(TrackerKind kind) {
   return "unknown";
 }
 
+int BenchNumThreads() {
+  const char* env = std::getenv("TMERGE_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int value = std::atoi(env);
+    if (value >= 0) return value;
+  }
+  return 0;
+}
+
 BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
                               std::int32_t num_videos, TrackerKind tracker,
                               const merge::WindowConfig& window,
-                              std::uint64_t seed) {
+                              std::uint64_t seed, int num_threads) {
   BenchEnv env;
   env.name = sim::DatasetProfileName(profile);
   env.dataset = std::make_unique<sim::Dataset>(
@@ -57,8 +68,9 @@ BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
   config.window = window;
   config.seed = seed ^ 0xBEEFULL;
 
-  env.prepared.reserve(num_videos);
-  for (std::size_t v = 0; v < env.dataset->videos.size(); ++v) {
+  // Per-video work (seeds derived by index, tracker objects per video), so
+  // iterations are independent and results match the serial loop exactly.
+  auto prepare_one = [&](std::size_t v) {
     merge::PipelineConfig per_video = config;
     per_video.seed = config.seed + 31 * (v + 1);
     const sim::SyntheticVideo& video = env.dataset->videos[v];
@@ -68,25 +80,37 @@ BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
       reid::SyntheticReidModel model(video, reid::ReidModelConfig{},
                                      per_video.seed);
       track::AppearanceTracker appearance(&model);
-      env.prepared.push_back(merge::PrepareVideo(video, appearance, per_video));
+      return merge::PrepareVideo(video, appearance, per_video);
     } else if (tracker == TrackerKind::kRegression) {
       track::RegressionTracker regression;
-      env.prepared.push_back(merge::PrepareVideo(video, regression, per_video));
-    } else {
-      track::SortTracker sort_tracker;
-      env.prepared.push_back(merge::PrepareVideo(video, sort_tracker, per_video));
+      return merge::PrepareVideo(video, regression, per_video);
     }
+    track::SortTracker sort_tracker;
+    return merge::PrepareVideo(video, sort_tracker, per_video);
+  };
+
+  std::size_t count = env.dataset->videos.size();
+  env.prepared.resize(count);
+  int workers = core::ResolveNumThreads(num_threads);
+  if (workers == 1 || count <= 1) {
+    for (std::size_t v = 0; v < count; ++v) env.prepared[v] = prepare_one(v);
+  } else {
+    core::ThreadPool pool(workers);
+    pool.ParallelFor(0, static_cast<std::int64_t>(count), [&](std::int64_t v) {
+      env.prepared[v] = prepare_one(static_cast<std::size_t>(v));
+    });
   }
   return env;
 }
 
 BenchEnv PrepareEnv(sim::DatasetProfile profile, std::int32_t num_videos,
                     TrackerKind tracker, std::int32_t window_length,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, int num_threads) {
   merge::WindowConfig window;
   window.single_window = profile != sim::DatasetProfile::kPathTrackLike;
   window.length = window_length;
-  return PrepareEnvWithWindow(profile, num_videos, tracker, window, seed);
+  return PrepareEnvWithWindow(profile, num_videos, tracker, window, seed,
+                              num_threads);
 }
 
 std::vector<CurvePoint> SweepMethods(const BenchEnv& env,
@@ -101,7 +125,7 @@ std::vector<CurvePoint> SweepMethods(const BenchEnv& env,
   auto record = [&](const std::string& method, double parameter,
                     merge::CandidateSelector& selector) {
     merge::EvalResult eval = merge::EvaluateSelectorAveraged(
-        env.prepared, selector, options, config.trials);
+        env.prepared, selector, options, config.trials, config.num_threads);
     CurvePoint point;
     point.method = method;
     point.parameter = parameter;

@@ -31,20 +31,28 @@ enum class TrackerKind { kSort, kAppearance, kRegression };
 
 const char* TrackerKindName(TrackerKind kind);
 
+/// Worker threads benches use for dataset preparation and evaluation:
+/// the TMERGE_NUM_THREADS environment variable when set, otherwise 0
+/// (= hardware_concurrency). Results are identical for any value; only
+/// wall-clock changes.
+int BenchNumThreads();
+
 /// Prepares a profile's benchmark environment: generates `num_videos`
-/// videos, runs detection + tracking, builds windows and ground truth.
-/// MOT-17/KITTI profiles use whole-video windows; PathTrack uses
-/// half-overlapping windows of `window_length` (paper §V-A).
+/// videos, runs detection + tracking, builds windows and ground truth
+/// (videos prepared concurrently with `num_threads` workers; 0 =
+/// hardware_concurrency). MOT-17/KITTI profiles use whole-video windows;
+/// PathTrack uses half-overlapping windows of `window_length` (paper §V-A).
 BenchEnv PrepareEnv(sim::DatasetProfile profile, std::int32_t num_videos,
                     TrackerKind tracker = TrackerKind::kSort,
                     std::int32_t window_length = 2000,
-                    std::uint64_t seed = 424242);
+                    std::uint64_t seed = 424242, int num_threads = 0);
 
 /// Variant that forces the windowing mode regardless of profile.
 BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
                               std::int32_t num_videos, TrackerKind tracker,
                               const merge::WindowConfig& window,
-                              std::uint64_t seed = 424242);
+                              std::uint64_t seed = 424242,
+                              int num_threads = 0);
 
 /// One point of a method's trade-off curve, with bookkeeping.
 struct CurvePoint {
@@ -70,6 +78,9 @@ struct MethodSweepConfig {
   std::uint64_t seed = 11;
   /// Independent trials averaged per point (the paper averages 10).
   int trials = 3;
+  /// Worker threads per EvaluateDataset call (0 = hardware_concurrency,
+  /// 1 = serial). Does not change results, only wall-clock.
+  int num_threads = 1;
 };
 
 /// Sweeps every requested method over the environment, producing REC-FPS

@@ -28,16 +28,21 @@ int main() {
     pipeline.window.single_window =
         profile != sim::DatasetProfile::kPathTrackLike;
     pipeline.window.length = 2000;
+    pipeline.seed = 1234;
+    // Prepare the dataset's videos concurrently; 0 = one worker per core.
+    // Per-video seeds are derived by index, so the stats below are the
+    // same for any thread count.
+    pipeline.num_threads = 0;
 
     track::SortTracker tracker;
+    std::vector<merge::PreparedVideo> prepared_videos =
+        merge::PrepareDataset(dataset, tracker, pipeline);
+
     std::printf("=== %s-like (SORT) ===\n", sim::DatasetProfileName(profile));
     core::TablePrinter table({"video", "frames", "gt", "tracks", "boxes",
                               "windows", "pairs", "poly", "poly%"});
     for (std::size_t v = 0; v < dataset.videos.size(); ++v) {
-      merge::PipelineConfig config = pipeline;
-      config.seed = 1234 + 17 * v;
-      merge::PreparedVideo prepared =
-          merge::PrepareVideo(dataset.videos[v], tracker, config);
+      const merge::PreparedVideo& prepared = prepared_videos[v];
       std::int64_t pairs = prepared.TotalPairs();
       table.AddRow()
           .AddCell(dataset.videos[v].name)

@@ -1,0 +1,132 @@
+#include "tmerge/core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tmerge::core {
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Shared state of one ParallelFor call. Lives on the calling thread's
+/// stack; workers only touch it through the tasks submitted for this call,
+/// all of which complete (and are counted out) before ParallelFor returns.
+struct ThreadPool::ForLoopState {
+  std::atomic<std::int64_t> next;
+  std::int64_t end;
+  const std::function<void(std::int64_t)>* fn;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  int active_helpers = 0;
+  std::exception_ptr error;
+
+  /// Claims and runs indices until the range (or the loop, on error) is
+  /// exhausted. Returns on the first captured exception.
+  void RunLoop() {
+    for (;;) {
+      std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Park the counter at the end so other participants stop claiming.
+        next.store(end, std::memory_order_relaxed);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error) return;
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = ResolveNumThreads(num_threads);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() const {
+  std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (end <= begin) return;
+  std::int64_t count = end - begin;
+  // Inline paths: trivial ranges, and reentrant calls from a worker (the
+  // worker would otherwise block waiting on tasks queued behind itself).
+  if (count == 1 || workers_.empty() || InWorkerThread()) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  ForLoopState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.fn = &fn;
+
+  // The calling thread participates too, so helpers beyond count-1 would
+  // only wake to find the range drained.
+  int helpers = static_cast<int>(
+      std::min<std::int64_t>(num_workers(), count - 1));
+  state.active_helpers = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    Submit([&state] {
+      state.RunLoop();
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.active_helpers == 0) state.done.notify_all();
+    });
+  }
+
+  state.RunLoop();
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.active_helpers == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace tmerge::core

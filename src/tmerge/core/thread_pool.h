@@ -1,0 +1,82 @@
+#ifndef TMERGE_CORE_THREAD_POOL_H_
+#define TMERGE_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmerge::core {
+
+/// Resolves a `num_threads` knob to a concrete worker count:
+///   0  -> std::thread::hardware_concurrency() (at least 1),
+///   n  -> n (at least 1).
+/// The convention every threaded entry point of the library follows
+/// (PipelineConfig::num_threads, bench sweeps).
+int ResolveNumThreads(int num_threads);
+
+/// A fixed-size worker pool for data-parallel work over independent items
+/// (videos, trials). Design constraints, in order:
+///
+///   1. Determinism is the caller's job and the pool must not get in the
+///      way: ParallelFor promises only that `fn` runs exactly once per
+///      index, on some thread, with no two invocations sharing an index.
+///      Callers that write result[i] from iteration i and reduce in index
+///      order afterwards get bit-identical output for any worker count.
+///   2. Exceptions propagate: the first exception thrown by an iteration
+///      is captured, remaining unstarted iterations are abandoned, and the
+///      exception is rethrown on the calling thread once in-flight
+///      iterations drain.
+///   3. Reentrancy degrades to inline execution: ParallelFor called from
+///      inside a worker of the same pool runs the loop serially on that
+///      worker instead of deadlocking on its own queue.
+///
+/// A pool constructed with one worker still spawns that worker thread;
+/// callers that want the *reference serial path* (no threads at all)
+/// should branch before constructing a pool, as the pipeline does for
+/// `num_threads == 1`.
+class ThreadPool {
+ public:
+  /// Spawns `ResolveNumThreads(num_threads)` workers.
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains nothing: pending tasks are discarded, in-flight tasks finish.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks must not throw (an escaped exception
+  /// terminates the process); use ParallelFor for throwing work.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [begin, end), distributing indices over
+  /// the workers plus the calling thread. Blocks until every index ran (or
+  /// an exception cut the loop short). Empty and single-index ranges, and
+  /// calls from inside one of this pool's workers, run inline.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn);
+
+  /// True when called from inside one of this pool's worker threads.
+  bool InWorkerThread() const;
+
+ private:
+  struct ForLoopState;
+
+  void WorkerMain();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace tmerge::core
+
+#endif  // TMERGE_CORE_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "tmerge/merge/pipeline.h"
 
 #include <set>
+#include <utility>
 
 #include "tmerge/core/status.h"
+#include "tmerge/core/thread_pool.h"
 #include "tmerge/metrics/recall.h"
 #include "tmerge/reid/feature_cache.h"
 
@@ -38,12 +40,29 @@ std::vector<PreparedVideo> PrepareDataset(const sim::Dataset& dataset,
                                           track::Tracker& tracker,
                                           const PipelineConfig& config) {
   std::vector<PreparedVideo> prepared;
-  prepared.reserve(dataset.videos.size());
-  for (std::size_t i = 0; i < dataset.videos.size(); ++i) {
-    PipelineConfig per_video = config;
-    per_video.seed = config.seed + 31 * (i + 1);
-    prepared.push_back(PrepareVideo(dataset.videos[i], tracker, per_video));
+  int num_threads = core::ResolveNumThreads(config.num_threads);
+  if (num_threads == 1 || dataset.videos.size() <= 1) {
+    // Serial reference path.
+    prepared.reserve(dataset.videos.size());
+    for (std::size_t i = 0; i < dataset.videos.size(); ++i) {
+      PipelineConfig per_video = config;
+      per_video.seed = config.seed + 31 * (i + 1);
+      prepared.push_back(PrepareVideo(dataset.videos[i], tracker, per_video));
+    }
+    return prepared;
   }
+
+  // Each iteration writes only prepared[i]; the seed derivation matches the
+  // serial loop exactly, so the result is bit-identical to it.
+  prepared.resize(dataset.videos.size());
+  core::ThreadPool pool(num_threads);
+  pool.ParallelFor(0, static_cast<std::int64_t>(dataset.videos.size()),
+                   [&](std::int64_t i) {
+                     PipelineConfig per_video = config;
+                     per_video.seed = config.seed + 31 * (i + 1);
+                     prepared[i] =
+                         PrepareVideo(dataset.videos[i], tracker, per_video);
+                   });
   return prepared;
 }
 
@@ -91,12 +110,32 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
   return eval;
 }
 
-EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
-                                    CandidateSelector& selector,
-                                    const SelectorOptions& options) {
+EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
+                           CandidateSelector& selector,
+                           const SelectorOptions& options, int num_threads) {
+  // Per-video evaluations are independent: each owns its FeatureCache and
+  // meter (created inside EvaluateSelector) and reads only its own
+  // PreparedVideo. The selector is shared across threads, which is safe
+  // because Select reads but never mutates selector state (see pipeline.h).
+  std::vector<EvalResult> evals(videos.size());
+  num_threads = core::ResolveNumThreads(num_threads);
+  if (num_threads == 1 || videos.size() <= 1) {
+    for (std::size_t i = 0; i < videos.size(); ++i) {
+      evals[i] = EvaluateSelector(videos[i], selector, options);
+    }
+  } else {
+    core::ThreadPool pool(num_threads);
+    pool.ParallelFor(0, static_cast<std::int64_t>(videos.size()),
+                     [&](std::int64_t i) {
+                       evals[i] = EvaluateSelector(videos[i], selector,
+                                                   options);
+                     });
+  }
+
+  // Ordered reduction in video order: the same floating-point accumulation
+  // sequence as a serial loop, hence deterministic for any thread count.
   EvalResult total;
-  for (const auto& prepared : videos) {
-    EvalResult eval = EvaluateSelector(prepared, selector, options);
+  for (EvalResult& eval : evals) {
     total.simulated_seconds += eval.simulated_seconds;
     total.wall_seconds += eval.wall_seconds;
     total.usage += eval.usage;
@@ -106,8 +145,10 @@ EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
     total.pairs += eval.pairs;
     total.truth_pairs += eval.truth_pairs;
     total.hits += eval.hits;
-    total.candidates.insert(total.candidates.end(), eval.candidates.begin(),
-                            eval.candidates.end());
+    total.candidates.insert(
+        total.candidates.end(),
+        std::make_move_iterator(eval.candidates.begin()),
+        std::make_move_iterator(eval.candidates.end()));
   }
   total.rec = total.truth_pairs > 0
                   ? static_cast<double>(total.hits) / total.truth_pairs
@@ -118,17 +159,23 @@ EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
   return total;
 }
 
+EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
+                                    CandidateSelector& selector,
+                                    const SelectorOptions& options) {
+  return EvaluateDataset(videos, selector, options, /*num_threads=*/1);
+}
+
 EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
                                     CandidateSelector& selector,
                                     const SelectorOptions& options,
-                                    int trials) {
+                                    int trials, int num_threads) {
   TMERGE_CHECK(trials > 0);
   EvalResult mean;
   for (int trial = 0; trial < trials; ++trial) {
     SelectorOptions trial_options = options;
     trial_options.seed = options.seed + 7919 * trial;
     EvalResult eval =
-        EvaluateSelectorOnVideos(videos, selector, trial_options);
+        EvaluateDataset(videos, selector, trial_options, num_threads);
     if (trial == 0) {
       mean = eval;
       continue;

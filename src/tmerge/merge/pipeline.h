@@ -26,6 +26,12 @@ struct PipelineConfig {
   reid::ReidModelConfig reid;
   metrics::GtMatchConfig gt_match;
   std::uint64_t seed = 42;
+  /// Worker threads for dataset-level preparation and evaluation:
+  /// 0 = hardware_concurrency, 1 = the serial reference path (default).
+  /// Videos are the unit of parallelism — per-video seeds and all
+  /// per-video results are bit-identical for every value of this knob;
+  /// see DESIGN.md "Threading model".
+  int num_threads = 1;
 };
 
 /// Everything selectors and benches need about one video, computed once and
@@ -51,7 +57,16 @@ PreparedVideo PrepareVideo(const sim::SyntheticVideo& video,
                            track::Tracker& tracker,
                            const PipelineConfig& config);
 
-/// Prepares every video of a dataset (seed varied per video).
+/// Prepares every video of a dataset (seed varied per video), using
+/// `config.num_threads` workers when it is not 1. Per-video seeds are
+/// derived by index before any work is scheduled, so the prepared videos
+/// are bit-identical to the serial path for every thread count.
+///
+/// Concurrency contract: `tracker.Run` is invoked from multiple threads on
+/// the same tracker object, so it must not mutate tracker state — every
+/// tracker shipped in tmerge::track keeps all per-run state local to Run
+/// (they hold only immutable config, plus a const ReidModel* for the
+/// appearance tracker).
 std::vector<PreparedVideo> PrepareDataset(const sim::Dataset& dataset,
                                           track::Tracker& tracker,
                                           const PipelineConfig& config);
@@ -84,19 +99,39 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
                             CandidateSelector& selector,
                             const SelectorOptions& options);
 
-/// Runs `selector` over several prepared videos and aggregates.
+/// Runs `selector` over several prepared videos with `num_threads` workers
+/// (0 = hardware_concurrency, 1 = serial reference path) and aggregates.
+///
+/// Parallelism is per video: each video's evaluation owns a fresh
+/// FeatureCache and InferenceMeter, reads only its own PreparedVideo
+/// (tracking, windows, per-video ReidModel), and shares with other videos
+/// nothing but the selector and options. That boundary demands:
+///   - CandidateSelector::Select must not mutate selector members (every
+///     shipped selector only reads its options struct);
+///   - ReidModel::Embed must be safely callable concurrently (both shipped
+///     models are pure const lookups + local RNG).
+/// Aggregation is an ordered reduction over the per-video results in video
+/// order — the identical floating-point accumulation as the serial loop —
+/// so rec/hits/candidates/usage are bit-identical for every thread count.
+EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
+                           CandidateSelector& selector,
+                           const SelectorOptions& options,
+                           int num_threads = 1);
+
+/// Serial alias of EvaluateDataset (the pre-threading name, kept for the
+/// existing benches/tests that sweep selectors on one thread).
 EvalResult EvaluateSelectorOnVideos(const std::vector<PreparedVideo>& videos,
                                     CandidateSelector& selector,
                                     const SelectorOptions& options);
 
-/// Runs EvaluateSelectorOnVideos `trials` times with derived seeds and
-/// averages REC/FPS/time/counter fields (the paper reports the average of
-/// 10 independent trials per experiment; benches here default to 3).
+/// Runs EvaluateDataset `trials` times with derived seeds and averages
+/// REC/FPS/time/counter fields (the paper reports the average of 10
+/// independent trials per experiment; benches here default to 3).
 /// `candidates` come from the first trial.
 EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
                                     CandidateSelector& selector,
                                     const SelectorOptions& options,
-                                    int trials);
+                                    int trials, int num_threads = 1);
 
 /// Convenience: selects candidates with `selector`, confirms them against
 /// the oracle, and returns the merged tracking result for `prepared`.

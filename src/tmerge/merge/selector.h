@@ -57,6 +57,12 @@ std::size_t TopKCount(double k_fraction, std::size_t num_pairs);
 /// LCB, TMerge and their batched variants). Selectors are stateless across
 /// calls; the feature cache carries reusable embeddings between windows of
 /// the same video.
+///
+/// Concurrency: merge::EvaluateDataset shares one selector object across
+/// worker threads (one video per thread), so Select must not mutate
+/// selector members — all per-run state belongs on the stack, with the
+/// caller-owned cache/meter carrying anything that outlives one window.
+/// Every shipped selector only reads its construction-time options.
 class CandidateSelector {
  public:
   virtual ~CandidateSelector() = default;

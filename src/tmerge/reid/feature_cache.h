@@ -15,6 +15,16 @@ namespace tmerge::reid {
 /// optimization (§IV-B: "if either of the BBoxes' feature vectors has been
 /// extracted in previous iterations it can be reused"). Inference cost is
 /// charged to the meter only on cache misses; hits are recorded but free.
+///
+/// Storage contract: returned references/pointers stay valid until Clear()
+/// or destruction — inserts (including the interleaved inserts and
+/// rehashes of one GetOrEmbedBatch call) never invalidate them. This holds
+/// because std::unordered_map guarantees reference stability across
+/// rehash; swapping the backing store for an open-addressing map would
+/// break it (feature_cache_test.cc has the regression test).
+///
+/// Not thread-safe: the pipeline creates one cache per video and confines
+/// it to the thread evaluating that video (see EvaluateDataset).
 class FeatureCache {
  public:
   /// Returns the cached feature for `crop`, embedding (and charging one

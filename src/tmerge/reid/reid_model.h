@@ -20,6 +20,14 @@ namespace tmerge::reid {
 /// Embedding cost is charged separately through InferenceMeter; Embed
 /// itself must be deterministic per crop so the feature-reuse optimization
 /// is sound.
+///
+/// Concurrency: the parallel dataset paths (merge::EvaluateDataset,
+/// merge::PrepareDataset) call Embed / NormalizedDistance on one model
+/// object from several threads, so implementations must be free of
+/// mutable state — every method here is const and must stay logically
+/// const (no caches, no shared RNG). Both shipped implementations comply:
+/// SyntheticReidModel derives a fresh local RNG per crop and
+/// PrecomputedReidModel is a read-only table lookup.
 class ReidModel {
  public:
   virtual ~ReidModel() = default;

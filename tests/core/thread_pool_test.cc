@@ -1,0 +1,115 @@
+#include "tmerge/core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tmerge::core {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1);
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 64;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      finished.fetch_add(1);
+    });
+  }
+  // Destructor semantics discard *pending* tasks, so wait for completion.
+  while (finished.load() < kTasks) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 10000;
+  // Disjoint writes per index: no synchronization needed, and TSan will
+  // flag the pool itself if task handoff is unsound.
+  std::vector<int> visits(kN, 0);
+  pool.ParallelFor(0, kN, [&](std::int64_t i) { visits[i] += 1; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), kN);
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::int64_t) { ++calls; });
+  pool.ParallelFor(9, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1);
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(1, 101, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](std::int64_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                         ran.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // The loop short-circuits: not every index needs to run after the throw.
+  EXPECT_LT(ran.load(), 1000);
+
+  // The pool survives a throwing loop and remains usable.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 100, [&](std::int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionOnInlinePathPropagates) {
+  ThreadPool pool(2);
+  // Single-index ranges run inline on the caller.
+  EXPECT_THROW(pool.ParallelFor(0, 1,
+                                [](std::int64_t) {
+                                  throw std::runtime_error("inline boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  // Outer indices land on workers; each runs a nested ParallelFor on the
+  // same pool, which must degrade to inline execution instead of
+  // deadlocking on the pool's own queue.
+  pool.ParallelFor(0, 8, [&](std::int64_t) {
+    pool.ParallelFor(0, 16, [&](std::int64_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, CallerThreadParticipates) {
+  // One worker plus the calling thread must still complete a large range
+  // even if the worker is slow to wake.
+  ThreadPool pool(1);
+  std::vector<int> visits(512, 0);
+  pool.ParallelFor(0, 512, [&](std::int64_t i) { visits[i] += 1; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 512);
+}
+
+}  // namespace
+}  // namespace tmerge::core

@@ -66,6 +66,74 @@ TEST(DeterminismTest, SelectorSeedIsolated) {
   EXPECT_EQ(e1.truth_pairs, e2.truth_pairs);
 }
 
+TEST(DeterminismTest, PrepareDatasetBitIdenticalAcrossThreadCounts) {
+  sim::Dataset dataset = sim::MakeDataset(sim::DatasetProfile::kKittiLike, 5,
+                                          /*seed=*/17);
+  track::SortTracker tracker;
+  merge::PipelineConfig config;
+  config.window.single_window = true;
+
+  config.num_threads = 1;
+  std::vector<merge::PreparedVideo> serial =
+      merge::PrepareDataset(dataset, tracker, config);
+  for (int threads : {2, 8}) {
+    config.num_threads = threads;
+    std::vector<merge::PreparedVideo> parallel =
+        merge::PrepareDataset(dataset, tracker, config);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t v = 0; v < serial.size(); ++v) {
+      EXPECT_EQ(parallel[v].video, serial[v].video);
+      EXPECT_EQ(parallel[v].tracking.TotalBoxes(),
+                serial[v].tracking.TotalBoxes());
+      EXPECT_EQ(parallel[v].tracking.tracks.size(),
+                serial[v].tracking.tracks.size());
+      EXPECT_EQ(parallel[v].windows.size(), serial[v].windows.size());
+      EXPECT_EQ(parallel[v].truth, serial[v].truth);
+    }
+  }
+}
+
+// The tentpole determinism contract (and the TSan CI gate: this test forces
+// num_threads > 1, so the sanitizer job races the parallel path): a
+// selector evaluated over a dataset yields bit-identical EvalResult fields
+// for every thread count.
+TEST(DeterminismTest, EvaluateDatasetBitIdenticalAcrossThreadCounts) {
+  sim::Dataset dataset = sim::MakeDataset(sim::DatasetProfile::kMot17Like, 4,
+                                          /*seed=*/23);
+  track::SortTracker tracker;
+  merge::PipelineConfig config;
+  config.window.single_window = true;
+  config.num_threads = 4;
+  std::vector<merge::PreparedVideo> prepared =
+      merge::PrepareDataset(dataset, tracker, config);
+
+  merge::TMergeSelector selector;
+  merge::SelectorOptions options;
+  options.seed = 3;
+  merge::EvalResult reference =
+      merge::EvaluateDataset(prepared, selector, options, /*num_threads=*/1);
+  for (int threads : {2, 8}) {
+    merge::EvalResult eval =
+        merge::EvaluateDataset(prepared, selector, options, threads);
+    EXPECT_EQ(eval.rec, reference.rec) << threads << " threads";
+    EXPECT_EQ(eval.fps, reference.fps);
+    EXPECT_EQ(eval.simulated_seconds, reference.simulated_seconds);
+    EXPECT_EQ(eval.frames, reference.frames);
+    EXPECT_EQ(eval.windows, reference.windows);
+    EXPECT_EQ(eval.pairs, reference.pairs);
+    EXPECT_EQ(eval.truth_pairs, reference.truth_pairs);
+    EXPECT_EQ(eval.hits, reference.hits);
+    EXPECT_EQ(eval.box_pairs_evaluated, reference.box_pairs_evaluated);
+    // Candidate *ordering* must match too, not just the set.
+    EXPECT_EQ(eval.candidates, reference.candidates);
+    EXPECT_EQ(eval.usage.single_inferences, reference.usage.single_inferences);
+    EXPECT_EQ(eval.usage.batched_crops, reference.usage.batched_crops);
+    EXPECT_EQ(eval.usage.batch_calls, reference.usage.batch_calls);
+    EXPECT_EQ(eval.usage.distance_evals, reference.usage.distance_evals);
+    EXPECT_EQ(eval.usage.cache_hits, reference.usage.cache_hits);
+  }
+}
+
 TEST(DeterminismTest, DatasetGenerationStableAcrossCalls) {
   sim::Dataset a = sim::MakeDataset(sim::DatasetProfile::kPathTrackLike, 2, 3);
   sim::Dataset b = sim::MakeDataset(sim::DatasetProfile::kPathTrackLike, 2, 3);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace tmerge::reid {
 namespace {
 
@@ -99,6 +102,42 @@ TEST_F(FeatureCacheTest, DuplicateCropsInOneBatchChargedOnce) {
   InferenceMeter meter(cost_);
   cache.GetOrEmbedBatch({Crop(4), Crop(4), Crop(4)}, *model_, meter);
   EXPECT_EQ(meter.stats().batched_crops, 1);
+}
+
+// Regression guard for the storage contract documented on FeatureCache:
+// pointers handed out by GetOrEmbed / GetOrEmbedBatch must survive later
+// inserts, including the rehashes a large batch triggers mid-call.
+// std::unordered_map guarantees reference stability across rehash, so this
+// only fails if the backing container is ever swapped for one without that
+// guarantee (e.g. a flat/open-addressing map).
+TEST_F(FeatureCacheTest, PointersStableAcrossRehashMidBatch) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+
+  // Pin a feature before the batch, then force many rehashes: load factor
+  // 1.0 with thousands of interleaved inserts in a single batch call.
+  const FeatureVector& pinned = cache.GetOrEmbed(Crop(0), *model_, meter);
+  FeatureVector pinned_copy = pinned;
+
+  constexpr std::uint64_t kBatch = 5000;
+  std::vector<CropRef> crops;
+  crops.reserve(kBatch + 1);
+  crops.push_back(Crop(0));  // Cached: returned pointer predates the batch.
+  for (std::uint64_t id = 1; id <= kBatch; ++id) crops.push_back(Crop(id));
+
+  std::vector<const FeatureVector*> features =
+      cache.GetOrEmbedBatch(crops, *model_, meter);
+  ASSERT_EQ(features.size(), crops.size());
+  ASSERT_GT(cache.size(), 1000u);  // Rehashed several times from empty.
+
+  // The pre-batch pointer still dereferences to the same value...
+  EXPECT_EQ(pinned, pinned_copy);
+  // ...and every batch result matches a fresh embedding of its crop, in
+  // request order, after all inserts of the same call.
+  EXPECT_EQ(*features[0], pinned_copy);
+  for (std::size_t i : {std::size_t{1}, std::size_t{17}, crops.size() - 1}) {
+    EXPECT_EQ(*features[i], model_->Embed(crops[i])) << i;
+  }
 }
 
 }  // namespace
