@@ -153,7 +153,7 @@ void Run() {
         .AddInt(prepared.TotalPairs())
         .AddInt(box_pairs)
         .AddNumber(eval.simulated_seconds, 2)
-        .AddNumber(eval.wall_seconds, 3);
+        .AddNumber(eval.summed_wall_seconds, 3);
   }
 
   std::cout << "=== Figure 4: BL cost vs video length (PathTrack-like, "
@@ -167,7 +167,9 @@ void Run() {
 }  // namespace tmerge::bench
 
 int main() {
+  tmerge::bench::InitObsFromEnv();
   tmerge::bench::Run();
   tmerge::bench::RunThreadScaling();
+  tmerge::bench::EmitObsSnapshot("fig04_scaling");
   return 0;
 }

@@ -42,6 +42,7 @@ void Run() {
   std::cout << "Expected shape: at matched REC, TMerge's FPS dominates PS "
                "and BL by roughly an order of magnitude; LCB sits between "
                "PS and TMerge.\n";
+  EmitObsSnapshot("fig05_rec_fps");
 }
 
 }  // namespace

@@ -35,7 +35,7 @@ void Run() {
         .AddNumber(eval.simulated_seconds, 2)
         .AddInt(eval.usage.TotalInferences())
         .AddInt(eval.usage.cache_hits)
-        .AddNumber(eval.wall_seconds, 3);
+        .AddNumber(eval.summed_wall_seconds, 3);
   }
 
   merge::BaselineSelector baseline;

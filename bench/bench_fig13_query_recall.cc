@@ -113,5 +113,6 @@ void Run() {
 
 int main() {
   tmerge::bench::Run();
+  tmerge::bench::EmitObsSnapshot("fig13_query_recall");
   return 0;
 }

@@ -1,9 +1,15 @@
 #include "bench_util.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <memory>
 
 #include "tmerge/core/thread_pool.h"
+#include "tmerge/obs/export.h"
+#include "tmerge/obs/metrics.h"
 #include "tmerge/merge/baseline.h"
 #include "tmerge/merge/lcb.h"
 #include "tmerge/merge/proportional.h"
@@ -48,17 +54,44 @@ const char* TrackerKindName(TrackerKind kind) {
 
 int BenchNumThreads() {
   const char* env = std::getenv("TMERGE_NUM_THREADS");
-  if (env != nullptr && *env != '\0') {
-    int value = std::atoi(env);
-    if (value >= 0) return value;
+  if (env == nullptr || *env == '\0') return 0;
+  // std::atoi would map garbage ("abc") silently to 0 = all cores; parse
+  // strictly instead and refuse anything but a full non-negative number.
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value < 0 ||
+      value > 4096) {
+    std::fprintf(stderr,
+                 "bench: ignoring invalid TMERGE_NUM_THREADS=\"%s\" "
+                 "(want an integer in [0, 4096]); using 0 = all cores\n",
+                 env);
+    return 0;
   }
-  return 0;
+  return static_cast<int>(value);
+}
+
+void InitObsFromEnv() {
+  const char* env = std::getenv("TMERGE_OBS");
+  obs::SetEnabled(env == nullptr || std::strcmp(env, "0") != 0);
+}
+
+void EmitObsSnapshot(const std::string& bench_name) {
+  if (!obs::Enabled()) {
+    std::cout << "(obs disabled: no instrumentation snapshot for "
+              << bench_name << ")\n";
+    return;
+  }
+  obs::RegistrySnapshot snapshot = obs::DefaultRegistry().Snapshot();
+  std::cout << "OBS_JSON {\"bench\":\"" << bench_name << "\",\"metrics\":"
+            << obs::SnapshotToJson(snapshot) << "}\n";
 }
 
 BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
                               std::int32_t num_videos, TrackerKind tracker,
                               const merge::WindowConfig& window,
                               std::uint64_t seed, int num_threads) {
+  InitObsFromEnv();
   BenchEnv env;
   env.name = sim::DatasetProfileName(profile);
   env.dataset = std::make_unique<sim::Dataset>(

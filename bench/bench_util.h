@@ -34,8 +34,21 @@ const char* TrackerKindName(TrackerKind kind);
 /// Worker threads benches use for dataset preparation and evaluation:
 /// the TMERGE_NUM_THREADS environment variable when set, otherwise 0
 /// (= hardware_concurrency). Results are identical for any value; only
-/// wall-clock changes.
+/// wall-clock changes. Invalid values (non-numeric, trailing junk,
+/// negative) are rejected with a warning on stderr and fall back to 0.
 int BenchNumThreads();
+
+/// Applies the TMERGE_OBS environment variable to the runtime
+/// instrumentation switch: unset or "1" enables it (benches default to
+/// instrumented runs so they can emit snapshots), "0" disables. Called by
+/// PrepareEnv* so most benches need nothing explicit.
+void InitObsFromEnv();
+
+/// Prints one machine-readable "OBS_JSON {...}" line: the default
+/// registry's snapshot wrapped with the bench name, next to the bench's
+/// BENCH_JSON numbers. No-op (with a notice) when instrumentation is
+/// runtime-disabled.
+void EmitObsSnapshot(const std::string& bench_name);
 
 /// Prepares a profile's benchmark environment: generates `num_videos`
 /// videos, runs detection + tracking, builds windows and ground truth

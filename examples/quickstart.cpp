@@ -9,17 +9,25 @@
 //               ./build/examples/quickstart
 
 #include <cstdio>
+#include <iostream>
 
+#include "tmerge/core/table_printer.h"
 #include "tmerge/merge/baseline.h"
 #include "tmerge/merge/pipeline.h"
 #include "tmerge/merge/tmerge.h"
 #include "tmerge/metrics/clear_mot.h"
 #include "tmerge/metrics/id_metrics.h"
+#include "tmerge/obs/metrics.h"
 #include "tmerge/sim/dataset.h"
 #include "tmerge/track/sort_tracker.h"
 
 int main() {
   using namespace tmerge;
+
+  // 0. Turn instrumentation on: every pipeline phase below records spans
+  //    and counters into obs::DefaultRegistry() (off by default; one
+  //    switch, no other code changes).
+  obs::SetEnabled(true);
 
   // 1. A synthetic video in place of a real MOT-17 sequence (no pixels —
   //    just ground-truth tracks with occlusion/glare events).
@@ -70,5 +78,28 @@ int main() {
   std::printf("\nIDF1 %.3f -> %.3f   (tracks %zu -> %zu)\n", before.Idf1(),
               after.Idf1(), prepared.tracking.tracks.size(),
               merged.tracks.size());
+
+  // 5. Where did the work go? Dump the instrumentation the run recorded:
+  //    per-phase span timings and the pipeline's operation counters.
+  obs::RegistrySnapshot snapshot = obs::DefaultRegistry().Snapshot();
+  std::printf("\n--- instrumentation (tmerge::obs) ---\n");
+  core::TablePrinter spans({"span", "count", "total-s", "mean-ms"});
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.find(".seconds") == std::string::npos || hist.count == 0) {
+      continue;
+    }
+    spans.AddRow()
+        .AddCell(name)
+        .AddInt(hist.count)
+        .AddNumber(hist.sum, 4)
+        .AddNumber(hist.sum / hist.count * 1e3, 3);
+  }
+  spans.Print(std::cout);
+  std::printf("\n");
+  core::TablePrinter counters({"counter", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.AddRow().AddCell(name).AddInt(value);
+  }
+  counters.Print(std::cout);
   return 0;
 }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <utility>
+
+#include "tmerge/obs/span.h"
 
 namespace tmerge::core {
 
@@ -11,6 +15,36 @@ int ResolveNumThreads(int num_threads) {
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
+
+#ifndef TMERGE_OBS_DISABLED
+namespace {
+
+/// Wraps a submitted task so its queue wait (enqueue -> dequeue) and busy
+/// time (execution) land in the pool's histograms. Only called when
+/// instrumentation is runtime-enabled, so the disabled hot path pays one
+/// branch and no clock reads.
+std::function<void()> InstrumentTask(std::function<void()> task) {
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& tasks = registry.GetCounter("core.pool.tasks");
+  static obs::Histogram& queue_wait =
+      registry.GetHistogram("core.pool.queue_wait.seconds");
+  static obs::Histogram& busy =
+      registry.GetHistogram("core.pool.busy.seconds");
+  auto enqueued = std::chrono::steady_clock::now();
+  return [task = std::move(task), enqueued] {
+    auto started = std::chrono::steady_clock::now();
+    queue_wait.Record(
+        std::chrono::duration<double>(started - enqueued).count());
+    tasks.Add();
+    task();
+    busy.Record(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count());
+  };
+}
+
+}  // namespace
+#endif  // TMERGE_OBS_DISABLED
 
 /// Shared state of one ParallelFor call. Lives on the calling thread's
 /// stack; workers only touch it through the tasks submitted for this call,
@@ -48,6 +82,9 @@ struct ThreadPool::ForLoopState {
 
 ThreadPool::ThreadPool(int num_threads) {
   int workers = ResolveNumThreads(num_threads);
+  TMERGE_OBS(obs::DefaultRegistry()
+                 .GetGauge("core.pool.workers")
+                 .Set(static_cast<double>(workers)));
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
@@ -65,6 +102,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  TMERGE_OBS(if (obs::Enabled()) task = InstrumentTask(std::move(task)));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

@@ -34,6 +34,12 @@ int ResolveNumThreads(int num_threads);
 ///      inside a worker of the same pool runs the loop serially on that
 ///      worker instead of deadlocking on its own queue.
 ///
+/// Observability: when tmerge::obs is runtime-enabled, each submitted task
+/// records its queue wait and execution time into the default registry
+/// ("core.pool.queue_wait.seconds" / "core.pool.busy.seconds" histograms,
+/// "core.pool.tasks" counter) and construction publishes the worker count
+/// as the "core.pool.workers" gauge.
+///
 /// A pool constructed with one worker still spawns that worker thread;
 /// callers that want the *reference serial path* (no threads at all)
 /// should branch before constructing a pool, as the pipeline does for

@@ -3,12 +3,56 @@
 #include <set>
 #include <utility>
 
+#include "tmerge/core/sim_clock.h"
 #include "tmerge/core/status.h"
 #include "tmerge/core/thread_pool.h"
 #include "tmerge/metrics/recall.h"
+#include "tmerge/obs/span.h"
 #include "tmerge/reid/feature_cache.h"
 
 namespace tmerge::merge {
+
+#ifndef TMERGE_OBS_DISABLED
+namespace {
+
+/// Folds one window's selection outcome into the default registry,
+/// mirroring UsageStats field by field so the exported counters always
+/// agree with the EvalResult aggregation.
+void RecordWindowObs(const SelectionResult& result,
+                     std::size_t window_pairs) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& windows = registry.GetCounter("evaluate.windows");
+  static obs::Counter& pairs = registry.GetCounter("evaluate.pairs_scanned");
+  static obs::Counter& candidates =
+      registry.GetCounter("evaluate.candidates_emitted");
+  static obs::Counter& box_pairs =
+      registry.GetCounter("evaluate.box_pairs_evaluated");
+  static obs::Counter& cache_hits = registry.GetCounter("reid.cache.hits");
+  static obs::Counter& cache_misses =
+      registry.GetCounter("reid.cache.misses");
+  static obs::Counter& single =
+      registry.GetCounter("reid.inferences.single");
+  static obs::Counter& batched_crops =
+      registry.GetCounter("reid.inferences.batched_crops");
+  static obs::Counter& batch_calls = registry.GetCounter("reid.batch_calls");
+  static obs::Counter& distances =
+      registry.GetCounter("reid.distance_evals");
+  windows.Add();
+  pairs.Add(static_cast<std::int64_t>(window_pairs));
+  candidates.Add(static_cast<std::int64_t>(result.candidates.size()));
+  box_pairs.Add(result.box_pairs_evaluated);
+  cache_hits.Add(result.usage.cache_hits);
+  // Every cache miss is exactly one embedded crop (single or batched).
+  cache_misses.Add(result.usage.TotalInferences());
+  single.Add(result.usage.single_inferences);
+  batched_crops.Add(result.usage.batched_crops);
+  batch_calls.Add(result.usage.batch_calls);
+  distances.Add(result.usage.distance_evals);
+}
+
+}  // namespace
+#endif  // TMERGE_OBS_DISABLED
 
 std::int64_t PreparedVideo::TotalPairs() const {
   std::int64_t total = 0;
@@ -21,24 +65,39 @@ std::int64_t PreparedVideo::TotalPairs() const {
 PreparedVideo PrepareVideo(const sim::SyntheticVideo& video,
                            track::Tracker& tracker,
                            const PipelineConfig& config) {
+  TMERGE_SPAN("prepare.video.seconds");
   PreparedVideo prepared;
   prepared.video = &video;
-  detect::DetectionSequence detections =
-      detect::SimulateDetections(video, config.detector, config.seed);
-  prepared.tracking = tracker.Run(detections);
+  detect::DetectionSequence detections;
+  {
+    TMERGE_SPAN("prepare.detect.seconds");
+    detections =
+        detect::SimulateDetections(video, config.detector, config.seed);
+  }
+  {
+    TMERGE_SPAN("prepare.track.seconds");
+    prepared.tracking = tracker.Run(detections);
+  }
   prepared.model = std::make_shared<reid::SyntheticReidModel>(
       video, config.reid, config.seed);
-  prepared.windows = BuildWindows(prepared.tracking, config.window);
-  prepared.assignment =
-      metrics::MatchTracksToGt(video, prepared.tracking, config.gt_match);
-  prepared.truth =
-      metrics::PolyonymousPairs(prepared.tracking, prepared.assignment);
+  {
+    TMERGE_SPAN("prepare.window.seconds");
+    prepared.windows = BuildWindows(prepared.tracking, config.window);
+  }
+  {
+    TMERGE_SPAN("prepare.gt_match.seconds");
+    prepared.assignment =
+        metrics::MatchTracksToGt(video, prepared.tracking, config.gt_match);
+    prepared.truth =
+        metrics::PolyonymousPairs(prepared.tracking, prepared.assignment);
+  }
   return prepared;
 }
 
 std::vector<PreparedVideo> PrepareDataset(const sim::Dataset& dataset,
                                           track::Tracker& tracker,
                                           const PipelineConfig& config) {
+  TMERGE_SPAN("prepare.dataset.seconds");
   std::vector<PreparedVideo> prepared;
   int num_threads = core::ResolveNumThreads(config.num_threads);
   if (num_threads == 1 || dataset.videos.size() <= 1) {
@@ -70,6 +129,8 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
                             CandidateSelector& selector,
                             const SelectorOptions& options) {
   TMERGE_CHECK(prepared.video != nullptr);
+  TMERGE_SPAN("evaluate.video.seconds");
+  core::WallTimer elapsed_timer;
   EvalResult eval;
   eval.frames = prepared.video->num_frames;
   eval.truth_pairs = static_cast<std::int64_t>(prepared.truth.size());
@@ -86,10 +147,15 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
     // Per-window seed derivation keeps windows decorrelated but runs
     // reproducible.
     window_options.seed = options.seed + 1009 * (window.window_index + 1);
-    SelectionResult result =
-        selector.Select(context, *prepared.model, cache, window_options);
+    SelectionResult result;
+    {
+      TMERGE_SPAN("evaluate.window.seconds");
+      result = selector.Select(context, *prepared.model, cache,
+                               window_options);
+    }
+    TMERGE_OBS(RecordWindowObs(result, window.pairs.size()));
     eval.simulated_seconds += result.simulated_seconds;
-    eval.wall_seconds += result.wall_seconds;
+    eval.summed_wall_seconds += result.wall_seconds;
     eval.usage += result.usage;
     eval.box_pairs_evaluated += result.box_pairs_evaluated;
     eval.pairs += static_cast<std::int64_t>(window.pairs.size());
@@ -107,12 +173,15 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
   eval.fps = eval.simulated_seconds > 0.0
                  ? static_cast<double>(eval.frames) / eval.simulated_seconds
                  : 0.0;
+  eval.elapsed_seconds = elapsed_timer.Seconds();
   return eval;
 }
 
 EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
                            CandidateSelector& selector,
                            const SelectorOptions& options, int num_threads) {
+  TMERGE_SPAN("evaluate.dataset.seconds");
+  core::WallTimer elapsed_timer;
   // Per-video evaluations are independent: each owns its FeatureCache and
   // meter (created inside EvaluateSelector) and reads only its own
   // PreparedVideo. The selector is shared across threads, which is safe
@@ -137,7 +206,7 @@ EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
   EvalResult total;
   for (EvalResult& eval : evals) {
     total.simulated_seconds += eval.simulated_seconds;
-    total.wall_seconds += eval.wall_seconds;
+    total.summed_wall_seconds += eval.summed_wall_seconds;
     total.usage += eval.usage;
     total.box_pairs_evaluated += eval.box_pairs_evaluated;
     total.frames += eval.frames;
@@ -156,6 +225,9 @@ EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
   total.fps = total.simulated_seconds > 0.0
                   ? static_cast<double>(total.frames) / total.simulated_seconds
                   : 0.0;
+  // True elapsed time of this call, not the per-video sum: with
+  // num_threads > 1 the two diverge by design (see EvalResult).
+  total.elapsed_seconds = elapsed_timer.Seconds();
   return total;
 }
 
@@ -183,7 +255,8 @@ EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
     mean.rec += eval.rec;
     mean.fps += eval.fps;
     mean.simulated_seconds += eval.simulated_seconds;
-    mean.wall_seconds += eval.wall_seconds;
+    mean.summed_wall_seconds += eval.summed_wall_seconds;
+    mean.elapsed_seconds += eval.elapsed_seconds;
     mean.hits += eval.hits;
     mean.box_pairs_evaluated += eval.box_pairs_evaluated;
     mean.usage += eval.usage;
@@ -191,7 +264,8 @@ EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
   mean.rec /= trials;
   mean.fps /= trials;
   mean.simulated_seconds /= trials;
-  mean.wall_seconds /= trials;
+  mean.summed_wall_seconds /= trials;
+  mean.elapsed_seconds /= trials;
   mean.hits /= trials;
   mean.box_pairs_evaluated /= trials;
   mean.usage.single_inferences /= trials;

@@ -78,9 +78,20 @@ struct EvalResult {
   /// count as misses, as in the paper's Fig. 9).
   double rec = 0.0;
   /// Frames processed per simulated second (the paper's FPS metric).
+  /// Always computed from `simulated_seconds`; the wall-clock fields below
+  /// are bookkeeping diagnostics and never feed FPS.
   double fps = 0.0;
   double simulated_seconds = 0.0;
-  double wall_seconds = 0.0;
+  /// Selector wall-clock summed over windows and videos. With
+  /// num_threads > 1 the per-video terms overlap in real time, so this is
+  /// aggregate CPU-time-like work, NOT elapsed time (it can exceed
+  /// `elapsed_seconds` by up to the thread count).
+  double summed_wall_seconds = 0.0;
+  /// True elapsed wall-clock of the call that produced this result: the
+  /// whole parallel loop for EvaluateDataset, one video's evaluation for
+  /// EvaluateSelector (also recorded as the "evaluate.dataset.seconds" /
+  /// "evaluate.video.seconds" obs spans).
+  double elapsed_seconds = 0.0;
   reid::UsageStats usage;
   std::int64_t frames = 0;
   std::int64_t windows = 0;

@@ -8,6 +8,7 @@
 #include "tmerge/core/beta.h"
 #include "tmerge/core/sim_clock.h"
 #include "tmerge/core/status.h"
+#include "tmerge/obs/span.h"
 
 namespace tmerge::merge {
 namespace {
@@ -88,6 +89,44 @@ internal::UlbCounts RunUlb(std::vector<PairBandit>& bandits,
   }
   return counts;
 }
+
+#ifndef TMERGE_OBS_DISABLED
+/// Publishes one window's bandit internals: total arm pulls (= tau), ULB
+/// pruning outcomes, the tau actually spent, and the window-mean posterior
+/// shape parameters (alpha = S, beta = F) as a cheap summary of how far
+/// the posteriors moved from the Beta(1,1) / BetaInit priors.
+void RecordBanditObs(std::int64_t tau,
+                     const std::vector<PairBandit>& bandits,
+                     const internal::UlbCounts& total_pruned) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& arm_pulls = registry.GetCounter("tmerge.arm_pulls");
+  static obs::Counter& pruned_in =
+      registry.GetCounter("tmerge.ulb.pruned_in");
+  static obs::Counter& pruned_out =
+      registry.GetCounter("tmerge.ulb.pruned_out");
+  static obs::Histogram& tau_spent = registry.GetHistogram(
+      "tmerge.tau_spent_per_window", obs::CountBounds());
+  static obs::Histogram& alpha_mean = registry.GetHistogram(
+      "tmerge.posterior.alpha_mean", obs::CountBounds());
+  static obs::Histogram& beta_mean = registry.GetHistogram(
+      "tmerge.posterior.beta_mean", obs::CountBounds());
+  arm_pulls.Add(tau);
+  pruned_in.Add(total_pruned.pruned_in);
+  pruned_out.Add(total_pruned.pruned_out);
+  tau_spent.Record(static_cast<double>(tau));
+  if (!bandits.empty()) {
+    double alpha_sum = 0.0, beta_sum = 0.0;
+    for (const PairBandit& bandit : bandits) {
+      alpha_sum += bandit.beta.s();
+      beta_sum += bandit.beta.f();
+    }
+    double n = static_cast<double>(bandits.size());
+    alpha_mean.Record(alpha_sum / n);
+    beta_mean.Record(beta_sum / n);
+  }
+}
+#endif  // TMERGE_OBS_DISABLED
 
 }  // namespace
 
@@ -220,6 +259,9 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
   result.simulated_seconds = meter.elapsed_seconds();
   result.usage = meter.stats();
   result.wall_seconds = timer.Seconds();
+  TMERGE_OBS(RecordBanditObs(
+      tau, bandits,
+      internal::UlbCounts{result.ulb_pruned_in, result.ulb_pruned_out}));
   return result;
 }
 

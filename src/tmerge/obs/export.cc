@@ -1,0 +1,120 @@
+#include "tmerge/obs/export.h"
+
+#include <sstream>
+
+namespace tmerge::obs {
+namespace {
+
+// Shortest round-trippable-enough representation: %.12g avoids both
+// trailing-zero noise ("0.500000") and precision loss for the counters and
+// second-scale sums exported here.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+// Metric names are dotted lowercase identifiers (no quotes/backslashes/
+// control characters), so JSON escaping reduces to quoting.
+void AppendQuoted(std::string& out, const std::string& name) {
+  out += '"';
+  out += name;
+  out += '"';
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string mangled = "tmerge_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    mangled += ok ? c : '_';
+  }
+  return mangled;
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ':';
+    out += FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(hist.count);
+    out += ",\"sum\":";
+    out += FormatDouble(hist.sum);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < hist.bucket_counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += "{\"le\":";
+      if (b < hist.bounds.size()) {
+        out += FormatDouble(hist.bounds[b]);
+      } else {
+        out += "\"+Inf\"";
+      }
+      out += ",\"count\":";
+      out += std::to_string(hist.bucket_counts[b]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SnapshotToPrometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bucket_counts.size(); ++b) {
+      cumulative += hist.bucket_counts[b];
+      os << prom << "_bucket{le=\"";
+      if (b < hist.bounds.size()) {
+        os << FormatDouble(hist.bounds[b]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_sum " << FormatDouble(hist.sum) << "\n"
+       << prom << "_count " << hist.count << "\n";
+  }
+  return os.str();
+}
+
+void WriteJson(std::ostream& os, const RegistrySnapshot& snapshot) {
+  os << SnapshotToJson(snapshot);
+}
+
+}  // namespace tmerge::obs

@@ -1,0 +1,31 @@
+#ifndef TMERGE_OBS_EXPORT_H_
+#define TMERGE_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "tmerge/obs/metrics.h"
+
+namespace tmerge::obs {
+
+/// Serializes a snapshot as one JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":N,"sum":S,
+///                          "buckets":[{"le":0.001,"count":2},...,
+///                                     {"le":"+Inf","count":0}]}}}
+/// Keys are emitted in name order, so equal snapshots serialize equally
+/// (golden-testable, diffable across runs).
+std::string SnapshotToJson(const RegistrySnapshot& snapshot);
+
+/// Serializes a snapshot in Prometheus text exposition format. Metric
+/// names are mangled to Prometheus conventions: prefixed "tmerge_", dots
+/// replaced by underscores; histograms expand to the usual _bucket{le=}/
+/// _sum/_count triple with cumulative bucket counts.
+std::string SnapshotToPrometheus(const RegistrySnapshot& snapshot);
+
+/// Streams SnapshotToJson (convenience for benches writing report lines).
+void WriteJson(std::ostream& os, const RegistrySnapshot& snapshot);
+
+}  // namespace tmerge::obs
+
+#endif  // TMERGE_OBS_EXPORT_H_

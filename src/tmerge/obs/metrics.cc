@@ -1,0 +1,173 @@
+#include "tmerge/obs/metrics.h"
+
+#include <algorithm>
+
+namespace tmerge::obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t ShardIndex() {
+  // Round-robin shard assignment at first use per thread: cheaper and more
+  // evenly spread than hashing thread ids, and stable for the thread's
+  // lifetime so its writes stay on one cache line.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Pads a histogram's per-shard bucket run to a whole number of cache lines
+// so shards never share one.
+std::size_t PaddedStride(std::size_t num_buckets) {
+  constexpr std::size_t kPerLine = 64 / sizeof(std::atomic<std::int64_t>);
+  return (num_buckets + kPerLine - 1) / kPerLine * kPerLine;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), stride_(PaddedStride(bounds_.size() + 1)) {
+  std::size_t cells = stride_ * internal::kShards;
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::BucketOf(double value) const {
+  // First bound >= value; past-the-end means the +Inf overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::vector<std::int64_t> merged(bounds_.size() + 1, 0);
+  for (std::size_t shard = 0; shard < internal::kShards; ++shard) {
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      merged[b] +=
+          buckets_[shard * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::int64_t Histogram::Count() const {
+  std::int64_t total = 0;
+  for (std::int64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& cell : sums_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  std::size_t cells = stride_ * internal::kShards;
+  for (std::size_t i = 0; i < cells; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& cell : sums_) cell.value.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> DurationBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+std::vector<double> CountBounds() {
+  return {1.0, 4.0, 16.0, 64.0, 256.0, 1e3, 4e3, 1.6e4, 1e5, 1e6};
+}
+
+void RegistrySnapshot::MergeFrom(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, hist] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, hist);
+    if (inserted) continue;
+    HistogramSnapshot& mine = it->second;
+    // Merging histograms with different bucketing would silently misbin;
+    // bounds are fixed at first registration, so this indicates two
+    // registries disagreeing on a metric's meaning.
+    if (mine.bounds != hist.bounds ||
+        mine.bucket_counts.size() != hist.bucket_counts.size()) {
+      continue;
+    }
+    for (std::size_t b = 0; b < mine.bucket_counts.size(); ++b) {
+      mine.bucket_counts[b] += hist.bucket_counts[b];
+    }
+    mine.count += hist.count;
+    mine.sum += hist.sum;
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot hist;
+    hist.bounds = histogram->bounds();
+    hist.bucket_counts = histogram->BucketCounts();
+    for (std::int64_t c : hist.bucket_counts) hist.count += c;
+    hist.sum = histogram->Sum();
+    snapshot.histograms[name] = std::move(hist);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& DefaultRegistry() {
+  // Leaked on purpose: instrumentation sites cache references for the
+  // process lifetime and may fire from detached/static destructors.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace tmerge::obs

@@ -1,0 +1,82 @@
+#ifndef TMERGE_OBS_SPAN_H_
+#define TMERGE_OBS_SPAN_H_
+
+#include <chrono>
+
+#include "tmerge/obs/metrics.h"
+
+namespace tmerge::obs {
+
+/// RAII scoped timer recording its lifetime into a duration histogram
+/// (count, sum of seconds, latency distribution in one metric). Arms only
+/// if instrumentation is enabled at construction; a disarmed span does no
+/// clock reads and records nothing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram& histogram) {
+    if (Enabled()) {
+      histogram_ = &histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedSpan() { Stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records now, disarms, and returns the measured seconds (0.0 if the
+  /// span never armed or was already stopped).
+  double Stop() {
+    if (histogram_ == nullptr) return 0.0;
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    histogram_->Record(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tmerge::obs
+
+// Instrumentation macros. These are the only pieces of the obs API affected
+// by TMERGE_OBS_DISABLED: defining it (the TMERGE_OBS_DISABLED CMake
+// option applies it globally) compiles every TMERGE_SPAN / TMERGE_OBS site
+// out of the binary entirely. The registry classes above stay available
+// either way, so exporters, tests and explicit callers keep compiling.
+//
+//   TMERGE_SPAN("prepare.detect.seconds");   // times the enclosing scope
+//   TMERGE_OBS(counter.Add(n));              // arbitrary instrumentation
+#define TMERGE_OBS_CONCAT_INNER(a, b) a##b
+#define TMERGE_OBS_CONCAT(a, b) TMERGE_OBS_CONCAT_INNER(a, b)
+
+#if defined(TMERGE_OBS_DISABLED)
+
+#define TMERGE_SPAN(name)
+#define TMERGE_OBS(...)
+
+#else
+
+/// Times the enclosing scope into the default registry's duration
+/// histogram named `name` (a string literal; the metric is looked up once
+/// per site via a static local).
+#define TMERGE_SPAN(name)                                                  \
+  static ::tmerge::obs::Histogram& TMERGE_OBS_CONCAT(tmerge_span_metric_,  \
+                                                     __LINE__) =           \
+      ::tmerge::obs::DefaultRegistry().GetHistogram(                       \
+          (name), ::tmerge::obs::DurationBounds());                        \
+  ::tmerge::obs::ScopedSpan TMERGE_OBS_CONCAT(tmerge_span_, __LINE__)(     \
+      TMERGE_OBS_CONCAT(tmerge_span_metric_, __LINE__))
+
+/// Wraps instrumentation-only statements so they vanish under
+/// TMERGE_OBS_DISABLED.
+#define TMERGE_OBS(...) __VA_ARGS__
+
+#endif  // TMERGE_OBS_DISABLED
+
+#endif  // TMERGE_OBS_SPAN_H_

@@ -1,0 +1,72 @@
+#include "tmerge/obs/export.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::obs {
+namespace {
+
+RegistrySnapshot SampleSnapshot() {
+  SetEnabled(true);
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Add(3);
+  registry.GetGauge("g.level").Set(0.5);
+  Histogram& hist = registry.GetHistogram("h.lat", {1.0, 10.0});
+  hist.Record(0.5);
+  hist.Record(5.0);
+  hist.Record(100.0);
+  RegistrySnapshot snapshot = registry.Snapshot();
+  SetEnabled(false);
+  return snapshot;
+}
+
+// Golden output: the serialization is part of the tooling contract (CI and
+// downstream dashboards parse these lines), so byte-level changes should
+// be deliberate.
+TEST(ExportTest, JsonGolden) {
+  EXPECT_EQ(
+      SnapshotToJson(SampleSnapshot()),
+      "{\"counters\":{\"a.count\":3},"
+      "\"gauges\":{\"g.level\":0.5},"
+      "\"histograms\":{\"h.lat\":{\"count\":3,\"sum\":105.5,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
+      "{\"le\":\"+Inf\",\"count\":1}]}}}");
+}
+
+TEST(ExportTest, JsonOfEmptySnapshotIsValidObject) {
+  EXPECT_EQ(SnapshotToJson(RegistrySnapshot{}),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  EXPECT_EQ(SnapshotToPrometheus(SampleSnapshot()),
+            "# TYPE tmerge_a_count counter\n"
+            "tmerge_a_count 3\n"
+            "# TYPE tmerge_g_level gauge\n"
+            "tmerge_g_level 0.5\n"
+            "# TYPE tmerge_h_lat histogram\n"
+            "tmerge_h_lat_bucket{le=\"1\"} 1\n"
+            "tmerge_h_lat_bucket{le=\"10\"} 2\n"
+            "tmerge_h_lat_bucket{le=\"+Inf\"} 3\n"
+            "tmerge_h_lat_sum 105.5\n"
+            "tmerge_h_lat_count 3\n");
+}
+
+TEST(ExportTest, PrometheusBucketCountsAreCumulative) {
+  std::string text = SnapshotToPrometheus(SampleSnapshot());
+  // The +Inf bucket of a Prometheus histogram always equals _count.
+  EXPECT_NE(text.find("tmerge_h_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tmerge_h_lat_count 3"), std::string::npos);
+}
+
+TEST(ExportTest, WriteJsonStreamsSameBytes) {
+  RegistrySnapshot snapshot = SampleSnapshot();
+  std::ostringstream os;
+  WriteJson(os, snapshot);
+  EXPECT_EQ(os.str(), SnapshotToJson(snapshot));
+}
+
+}  // namespace
+}  // namespace tmerge::obs

@@ -1,0 +1,188 @@
+#include "tmerge/obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmerge::obs {
+namespace {
+
+// Each test runs in its own process (gtest_discover_tests), but be explicit
+// about the global switch anyway.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+  void TearDown() override { SetEnabled(false); }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.count");
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST_F(MetricsTest, GetReturnsSameMetricForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same.name");
+  Counter& b = registry.GetCounter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Value(), 7);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(1.5);
+  gauge.Set(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("test.hist", {1.0, 10.0});
+  hist.Record(0.5);   // <= 1
+  hist.Record(1.0);   // <= 1 (inclusive)
+  hist.Record(5.0);   // <= 10
+  hist.Record(100.0); // +Inf overflow
+  EXPECT_EQ(hist.BucketCounts(), (std::vector<std::int64_t>{2, 1, 1}));
+  EXPECT_EQ(hist.Count(), 4);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 106.5);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.0);
+}
+
+TEST_F(MetricsTest, RuntimeDisabledRecordsNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.count");
+  Histogram& hist = registry.GetHistogram("test.hist", {1.0});
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  SetEnabled(false);
+  counter.Add(5);
+  hist.Record(0.5);
+  gauge.Set(9.0);
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+// The TSan CI job runs this: concurrent relaxed updates across threads must
+// be race-free and lose no increments.
+TEST_F(MetricsTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.count");
+  Histogram& hist = registry.GetHistogram("test.hist", {0.25, 0.75});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        hist.Record(t % 2 == 0 ? 0.1 : 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.Count(), kThreads * kPerThread);
+  EXPECT_EQ(hist.BucketCounts(),
+            (std::vector<std::int64_t>{4 * kPerThread, 4 * kPerThread, 0}));
+  EXPECT_NEAR(hist.Sum(), 4 * kPerThread * 0.1 + 4 * kPerThread * 0.5,
+              1e-6 * kThreads * kPerThread);
+}
+
+// Snapshot taken while writers are live must be internally valid (no torn
+// histograms, monotone counters); exact totals once writers stop.
+TEST_F(MetricsTest, SnapshotDuringConcurrentWrites) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter.Add();
+  });
+  for (int i = 0; i < 100; ++i) {
+    RegistrySnapshot snapshot = registry.Snapshot();
+    EXPECT_GE(snapshot.counters.at("c"), 0);
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), counter.Value());
+}
+
+TEST_F(MetricsTest, SnapshotCopiesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Add(3);
+  registry.GetGauge("b.gauge").Set(2.5);
+  registry.GetHistogram("c.hist", {1.0}).Record(0.5);
+
+  RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("a.count"), 3);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("b.gauge"), 2.5);
+  const HistogramSnapshot& hist = snapshot.histograms.at("c.hist");
+  EXPECT_EQ(hist.count, 1);
+  EXPECT_DOUBLE_EQ(hist.sum, 0.5);
+  EXPECT_EQ(hist.bucket_counts, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(hist.bounds, (std::vector<double>{1.0}));
+}
+
+TEST_F(MetricsTest, SnapshotMergeSumsCountersAndHistograms) {
+  MetricsRegistry a, b;
+  a.GetCounter("shared").Add(2);
+  b.GetCounter("shared").Add(5);
+  b.GetCounter("only_b").Add(1);
+  a.GetGauge("g").Set(1.0);
+  b.GetGauge("g").Set(7.0);
+  a.GetHistogram("h", {1.0, 10.0}).Record(0.5);
+  b.GetHistogram("h", {1.0, 10.0}).Record(5.0);
+  b.GetHistogram("h2", {1.0}).Record(0.1);
+
+  RegistrySnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+
+  EXPECT_EQ(merged.counters.at("shared"), 7);
+  EXPECT_EQ(merged.counters.at("only_b"), 1);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 7.0);  // Last write wins.
+  const HistogramSnapshot& hist = merged.histograms.at("h");
+  EXPECT_EQ(hist.count, 2);
+  EXPECT_DOUBLE_EQ(hist.sum, 5.5);
+  EXPECT_EQ(hist.bucket_counts, (std::vector<std::int64_t>{1, 1, 0}));
+  EXPECT_EQ(merged.histograms.at("h2").count, 1);
+}
+
+TEST_F(MetricsTest, SnapshotMergeSkipsMismatchedBounds) {
+  MetricsRegistry a, b;
+  a.GetHistogram("h", {1.0}).Record(0.5);
+  b.GetHistogram("h", {2.0, 3.0}).Record(0.5);
+  RegistrySnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  // Mismatched bucketing cannot be merged meaningfully; the original
+  // histogram is kept untouched.
+  EXPECT_EQ(merged.histograms.at("h").count, 1);
+  EXPECT_EQ(merged.histograms.at("h").bounds, (std::vector<double>{1.0}));
+}
+
+TEST_F(MetricsTest, RegistryResetZeroesButKeepsReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("a");
+  Histogram& hist = registry.GetHistogram("h", {1.0});
+  counter.Add(4);
+  hist.Record(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_EQ(hist.Count(), 0);
+  counter.Add(1);  // The old reference still points at the live metric.
+  EXPECT_EQ(registry.Snapshot().counters.at("a"), 1);
+}
+
+}  // namespace
+}  // namespace tmerge::obs

@@ -1,0 +1,46 @@
+// Compiles the instrumentation macros with TMERGE_OBS_DISABLED defined (as
+// the TMERGE_OBS_DISABLED CMake option does globally) and checks that they
+// expand to nothing: no metric registration, no recording, no span
+// objects. The registry API itself must keep working — only the
+// instrumentation sites vanish.
+
+#ifndef TMERGE_OBS_DISABLED
+#define TMERGE_OBS_DISABLED
+#endif
+
+#include "tmerge/obs/span.h"
+
+#include <gtest/gtest.h>
+
+namespace tmerge::obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCompileToNothing) {
+  SetEnabled(true);
+  DefaultRegistry().Reset();
+
+  {
+    TMERGE_SPAN("disabled.span.seconds");
+    TMERGE_SPAN("disabled.span2.seconds");  // Unique names still required.
+    TMERGE_OBS(DefaultRegistry().GetCounter("disabled.count").Add(99));
+  }
+
+  RegistrySnapshot snapshot = DefaultRegistry().Snapshot();
+  SetEnabled(false);
+  EXPECT_FALSE(snapshot.histograms.contains("disabled.span.seconds"));
+  EXPECT_FALSE(snapshot.histograms.contains("disabled.span2.seconds"));
+  EXPECT_FALSE(snapshot.counters.contains("disabled.count"));
+}
+
+TEST(ObsDisabledTest, RegistryApiStaysUsable) {
+  // Explicit (non-macro) use keeps working in a disabled build: exporters,
+  // tests and user dashboards are not compiled out, only instrumentation.
+  SetEnabled(true);
+  MetricsRegistry registry;
+  registry.GetCounter("explicit.count").Add(2);
+  EXPECT_EQ(registry.Snapshot().counters.at("explicit.count"), 2);
+  SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace tmerge::obs
