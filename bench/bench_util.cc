@@ -73,7 +73,22 @@ int BenchNumThreads() {
 
 void InitObsFromEnv() {
   const char* env = std::getenv("TMERGE_OBS");
-  obs::SetEnabled(env == nullptr || std::strcmp(env, "0") != 0);
+  if (env == nullptr || std::strcmp(env, "1") == 0) {
+    obs::SetEnabled(true);
+    return;
+  }
+  if (std::strcmp(env, "0") == 0) {
+    obs::SetEnabled(false);
+    return;
+  }
+  // Strict on purpose (same policy as TMERGE_NUM_THREADS): accepting
+  // "yes"/"true"/"00" loosely would let a typo silently change which code
+  // path a bench measures.
+  std::fprintf(stderr,
+               "bench: ignoring invalid TMERGE_OBS=\"%s\" (want 0 or 1); "
+               "instrumentation stays enabled (the default)\n",
+               env);
+  obs::SetEnabled(true);
 }
 
 void EmitObsSnapshot(const std::string& bench_name) {

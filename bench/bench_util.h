@@ -40,8 +40,12 @@ int BenchNumThreads();
 
 /// Applies the TMERGE_OBS environment variable to the runtime
 /// instrumentation switch: unset or "1" enables it (benches default to
-/// instrumented runs so they can emit snapshots), "0" disables. Called by
-/// PrepareEnv* so most benches need nothing explicit.
+/// instrumented runs so they can emit snapshots), "0" disables. Anything
+/// else — "true", "yes", stray whitespace — is rejected with a warning on
+/// stderr and falls back to the enabled default, mirroring
+/// BenchNumThreads' strict parsing: a typo must never silently flip what a
+/// bench measures. Called by PrepareEnv* so most benches need nothing
+/// explicit.
 void InitObsFromEnv();
 
 /// Prints one machine-readable "OBS_JSON {...}" line: the default

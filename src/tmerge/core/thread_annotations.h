@@ -1,0 +1,84 @@
+#ifndef TMERGE_CORE_THREAD_ANNOTATIONS_H_
+#define TMERGE_CORE_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (TMERGE_GUARDED_BY and
+/// friends), expanding to no-ops on compilers without the attribute so GCC
+/// builds are unaffected. With Clang, `-Wthread-safety -Werror` (the CI
+/// `static-analysis` job, or -DTMERGE_THREAD_SAFETY=ON) turns every
+/// annotated locking contract into a compile error when violated: touching
+/// a TMERGE_GUARDED_BY member without holding its mutex, calling a
+/// TMERGE_REQUIRES function unlocked, or re-entering a TMERGE_EXCLUDES
+/// function with the lock held all fail the build.
+///
+/// The analysis only understands capability-annotated lock types, not raw
+/// std::mutex, so annotated code locks through the core::Mutex /
+/// core::MutexLock / core::CondVar wrappers in mutex.h.
+///
+/// This header is deliberately freestanding (no includes, macros only):
+/// tmerge::obs may include it without creating a layering cycle with core.
+/// See DESIGN.md "Static analysis & enforced invariants".
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TMERGE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TMERGE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type as a lockable capability ("mutex").
+#define TMERGE_CAPABILITY(x) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define TMERGE_SCOPED_CAPABILITY \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define TMERGE_GUARDED_BY(x) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define TMERGE_PT_GUARDED_BY(x) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define TMERGE_REQUIRES(...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// in shared (reader) mode.
+#define TMERGE_REQUIRES_SHARED(...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define TMERGE_ACQUIRE(...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define TMERGE_RELEASE(...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define TMERGE_TRY_ACQUIRE(ret, ...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function acquires
+/// them itself; holding them on entry would deadlock).
+#define TMERGE_EXCLUDES(...) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result.
+#define TMERGE_RETURN_CAPABILITY(x) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Asserts (at analysis time) that the capability is held, for code paths
+/// the analysis cannot follow (e.g. locks smuggled through std types).
+#define TMERGE_ASSERT_CAPABILITY(x) \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the contract cannot be expressed.
+#define TMERGE_NO_THREAD_SAFETY_ANALYSIS \
+  TMERGE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // TMERGE_CORE_THREAD_ANNOTATIONS_H_

@@ -54,27 +54,27 @@ struct ThreadPool::ForLoopState {
   std::int64_t end;
   const std::function<void(std::int64_t)>* fn;
 
-  std::mutex mutex;
-  std::condition_variable done;
-  int active_helpers = 0;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar done;
+  int active_helpers TMERGE_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error TMERGE_GUARDED_BY(mutex);
 
   /// Claims and runs indices until the range (or the loop, on error) is
   /// exhausted. Returns on the first captured exception.
-  void RunLoop() {
+  void RunLoop() TMERGE_EXCLUDES(mutex) {
     for (;;) {
       std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!error) error = std::current_exception();
         // Park the counter at the end so other participants stop claiming.
         next.store(end, std::memory_order_relaxed);
         return;
       }
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (error) return;
     }
   }
@@ -93,21 +93,21 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
     queue_.clear();
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   TMERGE_OBS(if (obs::Enabled()) task = InstrumentTask(std::move(task)));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool ThreadPool::InWorkerThread() const {
@@ -122,8 +122,10 @@ void ThreadPool::WorkerMain() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // An explicit wait loop (not the predicate overload): the analysis
+      // can then see stopping_ / queue_ are only touched under mutex_.
+      while (!stopping_ && queue_.empty()) wake_.Wait(mutex_);
       if (stopping_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -152,18 +154,21 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
   // only wake to find the range drained.
   int helpers = static_cast<int>(
       std::min<std::int64_t>(num_workers(), count - 1));
-  state.active_helpers = helpers;
+  {
+    MutexLock lock(state.mutex);
+    state.active_helpers = helpers;
+  }
   for (int h = 0; h < helpers; ++h) {
     Submit([&state] {
       state.RunLoop();
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (--state.active_helpers == 0) state.done.notify_all();
+      MutexLock lock(state.mutex);
+      if (--state.active_helpers == 0) state.done.NotifyAll();
     });
   }
 
   state.RunLoop();
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.done.wait(lock, [&state] { return state.active_helpers == 0; });
+  MutexLock lock(state.mutex);
+  while (state.active_helpers != 0) state.done.Wait(state.mutex);
   if (state.error) std::rethrow_exception(state.error);
 }
 

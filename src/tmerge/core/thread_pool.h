@@ -1,13 +1,14 @@
 #ifndef TMERGE_CORE_THREAD_POOL_H_
 #define TMERGE_CORE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
 
 namespace tmerge::core {
 
@@ -59,14 +60,15 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw (an escaped exception
   /// terminates the process); use ParallelFor for throwing work.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) TMERGE_EXCLUDES(mutex_);
 
   /// Runs `fn(i)` for every i in [begin, end), distributing indices over
   /// the workers plus the calling thread. Blocks until every index ran (or
   /// an exception cut the loop short). Empty and single-index ranges, and
   /// calls from inside one of this pool's workers, run inline.
   void ParallelFor(std::int64_t begin, std::int64_t end,
-                   const std::function<void(std::int64_t)>& fn);
+                   const std::function<void(std::int64_t)>& fn)
+      TMERGE_EXCLUDES(mutex_);
 
   /// True when called from inside one of this pool's worker threads.
   bool InWorkerThread() const;
@@ -74,13 +76,16 @@ class ThreadPool {
  private:
   struct ForLoopState;
 
-  void WorkerMain();
+  void WorkerMain() TMERGE_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ TMERGE_GUARDED_BY(mutex_);
+  /// Written only by the constructor, before any worker can observe the
+  /// pool; read-only afterwards (num_workers, InWorkerThread), so it needs
+  /// no lock.
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ TMERGE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tmerge::core

@@ -18,6 +18,14 @@ reid::CropRef MakeCropRef(const track::TrackedBox& box);
 /// Immutable view of one window's pair set with the track data selectors
 /// need: box sequences, BBox-pair counts, and BetaInit's spatial distances.
 /// Shared by every selector so they all see identical inputs.
+///
+/// Concurrency contract: logically const after construction — every public
+/// member is a read — so concurrent readers on different worker threads
+/// are safe without locks, and the class intentionally carries no mutex or
+/// TMERGE_GUARDED_BY annotations. The unsynchronized-reader guarantee
+/// holds only while nothing mutates `result` underneath it (the pipeline
+/// keeps each TrackingResult owned by one video's evaluation; see
+/// DESIGN.md "Static analysis & enforced invariants").
 class PairContext {
  public:
   /// Binds the window's pairs to the tracking result. `result` must
@@ -70,6 +78,10 @@ class PairContext {
 /// Tracks which BBox pairs of one track pair have been sampled, supporting
 /// TMerge's without-replacement sampling. BBox pairs are identified by
 /// row * cols + col over the B_ti x B_tj grid.
+///
+/// Thread-confined like its owning selector state: Sample mutates and
+/// draws from the caller's core::Rng, whose determinism depends on a
+/// single consumer (one sampler + one rng per (window, trial) evaluation).
 class BoxPairSampler {
  public:
   BoxPairSampler(std::int64_t rows, std::int64_t cols)

@@ -10,7 +10,7 @@ namespace tmerge::merge {
 bool PairAdmissible(const track::Track& a, const track::Track& b,
                     const WindowConfig& config) {
   if (a.id == b.id) return false;
-  if (a.size() == 0 || b.size() == 0) return false;
+  if (a.empty() || b.empty()) return false;
   // Temporal overlap in frames (inclusive span intersection).
   std::int32_t overlap =
       std::min(a.last_frame(), b.last_frame()) -

@@ -115,14 +115,14 @@ void RegistrySnapshot::MergeFrom(const RegistrySnapshot& other) {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -130,14 +130,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 RegistrySnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   RegistrySnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
@@ -157,7 +157,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,9 +6,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+// Header-only annotated lock wrappers. tmerge_obs stays std-only at link
+// time (no dependency on tmerge_core's objects); these two core headers are
+// freestanding, so including them creates no layering cycle.
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
 
 namespace tmerge::obs {
 
@@ -173,10 +178,12 @@ struct RegistrySnapshot {
 };
 
 /// Thread-safe registry of named metrics. Registration (GetCounter etc.)
-/// takes a mutex and returns a reference that stays valid for the registry's
-/// lifetime, so instrumentation sites look a metric up once (a static local)
-/// and update it lock-free afterwards. Names are lowercase dotted paths;
-/// histograms of durations end in ".seconds" (see DESIGN.md
+/// takes mutex_ — the annotated lock guarding only the name maps — and
+/// returns a reference that stays valid for the registry's lifetime, so
+/// instrumentation sites look a metric up once (a static local) and update
+/// it lock-free afterwards: the Counter/Gauge/Histogram fast paths above
+/// are sharded relaxed atomics and never touch mutex_. Names are lowercase
+/// dotted paths; histograms of durations end in ".seconds" (see DESIGN.md
 /// "Observability").
 class MetricsRegistry {
  public:
@@ -186,22 +193,26 @@ class MetricsRegistry {
 
   /// Finds or creates the named metric. A histogram's bounds are fixed by
   /// its first registration; later calls ignore the argument.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) TMERGE_EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) TMERGE_EXCLUDES(mutex_);
   Histogram& GetHistogram(const std::string& name,
-                          std::vector<double> bounds = DurationBounds());
+                          std::vector<double> bounds = DurationBounds())
+      TMERGE_EXCLUDES(mutex_);
 
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const TMERGE_EXCLUDES(mutex_);
 
   /// Zeroes every metric, keeping registrations (and thus outstanding
   /// references) intact.
-  void Reset();
+  void Reset() TMERGE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TMERGE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TMERGE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TMERGE_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry all built-in instrumentation records into.

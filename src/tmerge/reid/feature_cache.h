@@ -23,8 +23,16 @@ namespace tmerge::reid {
 /// rehash; swapping the backing store for an open-addressing map would
 /// break it (feature_cache_test.cc has the regression test).
 ///
-/// Not thread-safe: the pipeline creates one cache per video and confines
-/// it to the thread evaluating that video (see EvaluateDataset).
+/// Concurrency contract — thread-confined, not thread-safe: the pipeline
+/// creates one cache per video and confines it to the worker evaluating
+/// that video (see EvaluateDataset), so the class carries no mutex and no
+/// TMERGE_GUARDED_BY annotations on purpose. Confinement cannot be
+/// expressed to the thread-safety analysis (there is no lock to name), so
+/// it is enforced one level up: EvaluateDataset's per-index ownership is
+/// annotated and linted, the tsan CI job exercises the 2/8-thread paths,
+/// and DESIGN.md "Static analysis & enforced invariants" records the rule
+/// that sharing a FeatureCache across videos requires adding a lock AND
+/// the annotations with it.
 class FeatureCache {
  public:
   /// Returns the cached feature for `crop`, embedding (and charging one

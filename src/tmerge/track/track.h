@@ -50,6 +50,9 @@ struct Track {
   }
   /// Number of associated boxes |t| (not the frame span).
   std::int32_t size() const { return static_cast<std::int32_t>(boxes.size()); }
+  /// True for a track with no boxes (paired with size(), expected by
+  /// container-hygiene lints and admissibility checks).
+  bool empty() const { return boxes.empty(); }
   /// Frame span, inclusive.
   std::int32_t span() const {
     return boxes.empty() ? 0 : last_frame() - first_frame() + 1;

@@ -41,8 +41,11 @@ TEST(WallTimerTest, MonotonicNonNegative) {
 
 TEST(WallTimerTest, RestartResets) {
   WallTimer timer;
-  for (volatile int i = 0; i < 100000; ++i) {
-  }
+  // Burn a little time. The sink is asserted on below so the loop cannot
+  // be optimized away (volatile counters are deprecated in C++20).
+  unsigned sink = 1;
+  for (int i = 0; i < 100000; ++i) sink = sink * 1664525u + 1013904223u;
+  EXPECT_NE(sink, 0u);
   timer.Restart();
   EXPECT_LT(timer.Seconds(), 0.5);
 }

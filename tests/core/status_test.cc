@@ -60,6 +60,57 @@ TEST(ResultTest, MutableAccess) {
   EXPECT_EQ(*result, "abc");
 }
 
+TEST(StatusTest, ToStringForEveryErrorCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "InvalidArgument: m");
+  EXPECT_EQ(Status::OutOfRange("m").ToString(), "OutOfRange: m");
+  EXPECT_EQ(Status::FailedPrecondition("m").ToString(),
+            "FailedPrecondition: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NotFound: m");
+  EXPECT_EQ(Status::Internal("m").ToString(), "Internal: m");
+}
+
+TEST(StatusTest, EmptyMessageStillRendersCode) {
+  // An empty message is legal; the code name must survive so logs are
+  // never blank.
+  Status status = Status::Internal("");
+  EXPECT_EQ(status.ToString(), "Internal: ");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusCodeNameTest, UnknownCodeDoesNotCrash) {
+  // Values outside the enum (e.g. from a corrupted wire read) must map to
+  // the sentinel, not walk off the switch.
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(99)), "Unknown");
+}
+
+TEST(ResultTest, ErrorResultKeepsFullStatus) {
+  Result<int> result(Status::FailedPrecondition("not prepared"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result.status().message(), "not prepared");
+  EXPECT_EQ(result.status().ToString(), "FailedPrecondition: not prepared");
+}
+
+TEST(ResultTest, OkResultHasOkStatus) {
+  Result<int> result(7);
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultTest, RvalueValueMovesOut) {
+  Result<std::string> result(std::string(64, 'x'));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, std::string(64, 'x'));
+}
+
+TEST(ResultTest, ConstAccessors) {
+  const Result<std::string> result(std::string("const"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "const");
+  EXPECT_EQ(*result, "const");
+  EXPECT_EQ(result->size(), 5u);
+}
+
 TEST(CheckTest, PassingCheckDoesNothing) {
   TMERGE_CHECK(1 + 1 == 2);  // Must not abort.
 }

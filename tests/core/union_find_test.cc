@@ -1,6 +1,8 @@
 #include "tmerge/core/union_find.h"
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -53,9 +55,71 @@ TEST(UnionFindTest, DisjointGroupsStayDisjoint) {
   EXPECT_FALSE(uf.Connected(3, 4));
 }
 
+TEST(UnionFindTest, SelfUnionIsANoOp) {
+  UnionFind uf(3);
+  EXPECT_FALSE(uf.Union(1, 1));
+  EXPECT_EQ(uf.set_count(), 3u);
+  // Still a no-op once the element has a non-trivial set.
+  uf.Union(0, 1);
+  EXPECT_FALSE(uf.Union(1, 1));
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFindTest, EmptyForestIsValid) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.size(), 0u);
+  EXPECT_EQ(uf.set_count(), 0u);
+}
+
+TEST(UnionFindTest, MergeOrderIndependence) {
+  // The merger's accepted-pair set is a *set*: whatever order pairs are
+  // applied in (parallel evaluation reduces in index order, but selectors
+  // may emit any order), the resulting partition must be identical.
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 1}, {2, 3}, {1, 2}, {5, 6}, {7, 5}, {4, 4}};
+  auto partition_of = [&](std::vector<std::pair<std::size_t, std::size_t>>
+                              ordered) {
+    UnionFind uf(8);
+    for (const auto& [a, b] : ordered) uf.Union(a, b);
+    // Canonical signature: for each element, the smallest element of its
+    // set (independent of which representative Find picked).
+    std::vector<std::size_t> smallest(8);
+    for (std::size_t i = 0; i < 8; ++i) smallest[i] = i;
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        if (uf.Connected(i, j)) smallest[i] = std::min(smallest[i], j);
+      }
+    }
+    return smallest;
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> reversed(pairs.rbegin(),
+                                                            pairs.rend());
+  std::vector<std::pair<std::size_t, std::size_t>> rotated(pairs.begin() + 3,
+                                                           pairs.end());
+  rotated.insert(rotated.end(), pairs.begin(), pairs.begin() + 3);
+  EXPECT_EQ(partition_of(pairs), partition_of(reversed));
+  EXPECT_EQ(partition_of(pairs), partition_of(rotated));
+}
+
 TEST(UnionFindDeathTest, OutOfRangeAborts) {
   UnionFind uf(3);
   EXPECT_DEATH(uf.Find(3), "TMERGE_CHECK");
+}
+
+TEST(UnionFindDeathTest, UnionOutOfRangeAborts) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Union(0, 3), "TMERGE_CHECK");
+  EXPECT_DEATH(uf.Union(3, 0), "TMERGE_CHECK");
+}
+
+TEST(UnionFindDeathTest, ConnectedOutOfRangeAborts) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Connected(0, 17), "TMERGE_CHECK");
+}
+
+TEST(UnionFindDeathTest, EmptyForestRejectsAnyElement) {
+  UnionFind uf(0);
+  EXPECT_DEATH(uf.Find(0), "TMERGE_CHECK");
 }
 
 // Property: set_count always equals the number of distinct roots.

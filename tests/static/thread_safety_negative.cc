@@ -1,0 +1,38 @@
+// Negative half of the thread-safety negative-compile check
+// (tools/check_thread_safety.sh): identical shape to
+// thread_safety_positive.cc but touches TMERGE_GUARDED_BY state without
+// its lock. `clang++ -Wthread-safety -Werror` MUST refuse to compile this
+// file — if it ever passes, the analysis is off and the CI job is lying.
+//
+// NOT part of any CMake target; only the checker script compiles it.
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // Violation 1: writes a guarded field with no lock held.
+  void Deposit(int amount) TMERGE_EXCLUDES(mu_) { balance_ += amount; }
+
+  // Violation 2: calls a TMERGE_REQUIRES function without the lock.
+  void DepositViaHelper(int amount) TMERGE_EXCLUDES(mu_) {
+    DepositLocked(amount);
+  }
+
+  void DepositLocked(int amount) TMERGE_REQUIRES(mu_) { balance_ += amount; }
+
+ private:
+  tmerge::core::Mutex mu_;
+  int balance_ TMERGE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.DepositViaHelper(1);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Positive half of the thread-safety negative-compile check
+// (tools/check_thread_safety.sh): a correctly locked use of every
+// annotation vocabulary item in core/mutex.h. This file MUST compile clean
+// under `clang++ -Wthread-safety -Werror`; its twin
+// thread_safety_negative.cc differs only in dropping the locks and MUST be
+// rejected. Together they prove the CI analysis actually bites (a silently
+// misconfigured -Wthread-safety would pass the positive file and the
+// negative one).
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TMERGE_EXCLUDES(mu_) {
+    tmerge::core::MutexLock lock(mu_);
+    balance_ += amount;
+    changed_.NotifyAll();
+  }
+
+  void DepositLocked(int amount) TMERGE_REQUIRES(mu_) { balance_ += amount; }
+
+  int WaitForPositive() TMERGE_EXCLUDES(mu_) {
+    tmerge::core::MutexLock lock(mu_);
+    while (balance_ <= 0) changed_.Wait(mu_);
+    return balance_;
+  }
+
+  int BalanceManualLocking() TMERGE_EXCLUDES(mu_) {
+    mu_.Lock();
+    int balance = balance_;
+    mu_.Unlock();
+    return balance;
+  }
+
+ private:
+  tmerge::core::Mutex mu_;
+  tmerge::core::CondVar changed_;
+  int balance_ TMERGE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.WaitForPositive() - account.BalanceManualLocking();
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Negative-compile check for the Clang Thread Safety annotations.
+#
+# Usage: tools/check_thread_safety.sh [clang++-binary]
+#
+# Compiles tests/static/thread_safety_positive.cc (correct locking; must
+# succeed) and tests/static/thread_safety_negative.cc (lock misuse; must
+# FAIL with a -Wthread-safety diagnostic) under `-Wthread-safety -Werror`.
+# Passing both directions proves the analysis is actually armed: a
+# misconfigured job would wave the negative file through.
+#
+# Registered as the ctest `thread_safety_negative_compile` when the build
+# compiler is clang, and run against a pinned clang in the CI
+# static-analysis job.
+
+set -u
+
+CXX="${1:-clang++}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+STATIC_DIR="$ROOT/tests/static"
+FLAGS="-std=c++20 -fsyntax-only -Wthread-safety -Werror -I$ROOT/src"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_thread_safety: '$CXX' is not clang; the analysis only exists" \
+       "there" >&2
+  exit 1
+fi
+
+echo "check_thread_safety: positive file (must compile)"
+if ! "$CXX" $FLAGS "$STATIC_DIR/thread_safety_positive.cc"; then
+  echo "FAIL: thread_safety_positive.cc did not compile under" \
+       "-Wthread-safety -Werror; the annotations in core/mutex.h or the" \
+       "test file are broken" >&2
+  exit 1
+fi
+
+echo "check_thread_safety: negative file (must be rejected)"
+DIAG="$("$CXX" $FLAGS "$STATIC_DIR/thread_safety_negative.cc" 2>&1)"
+STATUS=$?
+if [ "$STATUS" -eq 0 ]; then
+  echo "FAIL: thread_safety_negative.cc compiled — the thread-safety" \
+       "analysis is not rejecting lock misuse" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$DIAG" | grep -q "thread-safety"; then
+  echo "FAIL: thread_safety_negative.cc failed for the wrong reason" \
+       "(expected a -Wthread-safety diagnostic):" >&2
+  printf '%s\n' "$DIAG" >&2
+  exit 1
+fi
+
+echo "check_thread_safety: OK (positive compiles, negative rejected)"
+exit 0

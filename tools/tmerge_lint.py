@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""tmerge repo-invariant linter.
+
+Enforces the source-tree contracts that neither the compiler nor the unit
+tests can see (DESIGN.md "Static analysis & enforced invariants"):
+
+  determinism
+    - no std::random_device / rand() / srand() anywhere under src/ —
+      every random draw must flow from an explicit seed through
+      core/rng.h, or TMerge's reproducibility claims (bit-identical
+      results for any thread count) silently rot.
+    - no std::chrono::system_clock under src/, and steady_clock only in
+      an explicit allowlist (sim_clock.h, obs/span.h, thread_pool.cc).
+      Recall/FPS numbers come from the simulated cost model; a stray
+      wall-clock read would let host load leak into "measurements".
+
+  hygiene
+    - header guards must be TMERGE_<PATH>_H_ derived from the file path,
+      so guards never collide as the tree grows.
+    - no `using namespace` in headers (leaks into every includer).
+    - no <iostream> in headers (global-constructor and compile-time tax;
+      headers needing formatted output take a stream or use <cstdio> in
+      the .cc).
+
+Zero third-party dependencies; runs as a tier-1 ctest and in the CI
+static-analysis job. Exit code 0 = clean, 1 = violations, 2 = usage error.
+
+A line can opt out of a named rule with a trailing comment:
+    foo();  // tmerge-lint: allow(<rule>)
+where <rule> is one of: randomness, wall-clock, header-guard,
+using-namespace, iostream-header. Use sparingly; the allowlists above are
+preferred for whole-file exemptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# steady_clock is legitimate exactly where the design says time may be
+# observed: the simulated clock itself, span timing, and the thread pool's
+# queue-wait/busy instrumentation.
+STEADY_CLOCK_ALLOWLIST = {
+    "src/tmerge/core/sim_clock.h",
+    "src/tmerge/obs/span.h",
+    "src/tmerge/core/thread_pool.cc",
+}
+
+HEADER_EXTENSIONS = {".h", ".hpp", ".hh"}
+SOURCE_EXTENSIONS = HEADER_EXTENSIONS | {".cc", ".cpp", ".cxx"}
+
+ALLOW_RE = re.compile(r"tmerge-lint:\s*allow\(([a-z-]+)\)")
+
+RANDOMNESS_RE = re.compile(
+    r"std::random_device|\brandom_device\b|(?<![\w:.])s?rand\s*\(")
+SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
+STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Keeps line/column positions stable so diagnostics still point at the
+    original source. Good enough for the token-level bans above; not a full
+    lexer (raw strings are treated as plain strings).
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" and c != quote else c)
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath: pathlib.PurePosixPath) -> str:
+    """src/tmerge/core/rng.h -> TMERGE_CORE_RNG_H_ (and bench/tests files
+    keep their directory prefix: tests/testing/test_util.h ->
+    TMERGE_TESTS_TESTING_TEST_UTIL_H_)."""
+    parts = list(relpath.parts)
+    if parts[0] == "src":
+        parts = parts[1:]  # src/tmerge/... -> tmerge/...
+    else:
+        parts = ["tmerge"] + parts  # bench/..., tests/... keep a TMERGE_ root
+    stem = "/".join(parts)
+    return re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: pathlib.Path, line: int, rule: str, message: str):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line}: [{rule}] {message}")
+
+    def allowed(self, raw_line: str, rule: str) -> bool:
+        match = ALLOW_RE.search(raw_line)
+        return match is not None and match.group(1) == rule
+
+    def lint_file(self, path: pathlib.Path):
+        rel = pathlib.PurePosixPath(path.relative_to(self.root).as_posix())
+        raw = path.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        code_lines = strip_comments(raw).splitlines()
+        in_src = rel.parts[0] == "src"
+        is_header = path.suffix in HEADER_EXTENSIONS
+
+        for lineno, (code, orig) in enumerate(zip(code_lines, raw_lines), 1):
+            if in_src and RANDOMNESS_RE.search(code):
+                if not self.allowed(orig, "randomness"):
+                    self.report(path, lineno, "randomness",
+                                "ambient randomness is banned in src/; "
+                                "derive draws from an explicit seed via "
+                                "core/rng.h")
+            if in_src and SYSTEM_CLOCK_RE.search(code):
+                if not self.allowed(orig, "wall-clock"):
+                    self.report(path, lineno, "wall-clock",
+                                "system_clock is banned in src/; simulated "
+                                "time comes from core/sim_clock.h")
+            if (in_src and str(rel) not in STEADY_CLOCK_ALLOWLIST
+                    and STEADY_CLOCK_RE.search(code)):
+                if not self.allowed(orig, "wall-clock"):
+                    self.report(path, lineno, "wall-clock",
+                                "steady_clock outside the allowlist "
+                                f"({', '.join(sorted(STEADY_CLOCK_ALLOWLIST))}); "
+                                "route timing through obs spans or "
+                                "core/sim_clock.h")
+            if is_header and USING_NAMESPACE_RE.search(code):
+                if not self.allowed(orig, "using-namespace"):
+                    self.report(path, lineno, "using-namespace",
+                                "`using namespace` in a header leaks into "
+                                "every includer")
+            if is_header and IOSTREAM_RE.search(code):
+                if not self.allowed(orig, "iostream-header"):
+                    self.report(path, lineno, "iostream-header",
+                                "<iostream> in a header; include it in the "
+                                ".cc or take a std::ostream&")
+
+        if is_header:
+            self.lint_header_guard(path, rel, code_lines, raw_lines)
+
+    def lint_header_guard(self, path, rel, code_lines, raw_lines):
+        guard = expected_guard(rel)
+        ifndef_re = re.compile(r"#\s*ifndef\s+(\w+)")
+        define_re = re.compile(r"#\s*define\s+(\w+)")
+        for lineno, code in enumerate(code_lines, 1):
+            if not code.strip():
+                continue
+            m = ifndef_re.match(code.strip())
+            if not m:
+                self.report(path, lineno, "header-guard",
+                            f"first directive must be `#ifndef {guard}`")
+                return
+            if m.group(1) != guard:
+                if not self.allowed(raw_lines[lineno - 1], "header-guard"):
+                    self.report(path, lineno, "header-guard",
+                                f"guard {m.group(1)} should be {guard} "
+                                "(derived from the file path)")
+                return
+            # The very next non-blank code line must define the same guard.
+            for lineno2, code2 in enumerate(code_lines[lineno:], lineno + 1):
+                if not code2.strip():
+                    continue
+                m2 = define_re.match(code2.strip())
+                if not m2 or m2.group(1) != guard:
+                    self.report(path, lineno2, "header-guard",
+                                f"`#ifndef {guard}` must be followed by "
+                                f"`#define {guard}`")
+                return
+            return
+
+    def run(self, subdirs) -> int:
+        files = []
+        for sub in subdirs:
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in SOURCE_EXTENSIONS and p.is_file())
+        for path in files:
+            self.lint_file(path)
+        for violation in self.violations:
+            print(violation)
+        print(f"tmerge_lint: {len(files)} files scanned, "
+              f"{len(self.violations)} violation(s)")
+        return 1 if self.violations else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent's "
+                             "parent)")
+    parser.add_argument("subdirs", nargs="*",
+                        default=["src", "bench", "tests", "examples"],
+                        help="subtrees to scan (default: src bench tests "
+                             "examples)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    if not (root / "src").is_dir():
+        print(f"tmerge_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run(args.subdirs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

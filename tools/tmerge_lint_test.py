@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Self-test for tmerge_lint.py: seeds a temporary bad tree and asserts
+every rule fires (and that suppressions and comment-stripping keep the
+false-positive rate at zero). Registered as the `tmerge_lint_selftest`
+ctest — a linter that silently stopped matching would otherwise keep
+reporting a clean tree forever."""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import tmerge_lint  # noqa: E402
+
+
+def run_on(tree: dict[str, str]) -> list[str]:
+    """Writes {relpath: content} into a temp root and lints it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src").mkdir()
+        for rel, content in tree.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+        linter = tmerge_lint.Linter(root)
+        linter.run(["src", "bench", "tests", "examples"])
+        return linter.violations
+
+
+GOOD_HEADER = """#ifndef TMERGE_X_GOOD_H_
+#define TMERGE_X_GOOD_H_
+namespace tmerge::x {
+inline int Ok() { return 0; }
+}  // namespace tmerge::x
+#endif  // TMERGE_X_GOOD_H_
+"""
+
+
+class RuleFiringTest(unittest.TestCase):
+    def assert_rule(self, content, rule, rel="src/tmerge/x/f.cc"):
+        violations = run_on({rel: content})
+        self.assertTrue(
+            any(f"[{rule}]" in v for v in violations),
+            f"expected [{rule}] violation, got: {violations}")
+
+    def test_random_device_banned(self):
+        self.assert_rule("int f() { std::random_device rd; return rd(); }",
+                        "randomness")
+
+    def test_rand_banned(self):
+        self.assert_rule("int f() { return rand(); }", "randomness")
+
+    def test_srand_banned(self):
+        self.assert_rule("void f() { srand(42); }", "randomness")
+
+    def test_system_clock_banned(self):
+        self.assert_rule(
+            "auto f() { return std::chrono::system_clock::now(); }",
+            "wall-clock")
+
+    def test_steady_clock_outside_allowlist_banned(self):
+        self.assert_rule(
+            "auto f() { return std::chrono::steady_clock::now(); }",
+            "wall-clock")
+
+    def test_wrong_header_guard(self):
+        self.assert_rule("#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n",
+                        "header-guard", rel="src/tmerge/x/f.h")
+
+    def test_mismatched_define(self):
+        self.assert_rule(
+            "#ifndef TMERGE_X_F_H_\n#define OTHER_H_\n#endif\n",
+            "header-guard", rel="src/tmerge/x/f.h")
+
+    def test_using_namespace_in_header(self):
+        self.assert_rule(
+            "#ifndef TMERGE_X_F_H_\n#define TMERGE_X_F_H_\n"
+            "using namespace std;\n#endif\n",
+            "using-namespace", rel="src/tmerge/x/f.h")
+
+    def test_iostream_in_header(self):
+        self.assert_rule(
+            "#ifndef TMERGE_X_F_H_\n#define TMERGE_X_F_H_\n"
+            "#include <iostream>\n#endif\n",
+            "iostream-header", rel="src/tmerge/x/f.h")
+
+
+class NoFalsePositiveTest(unittest.TestCase):
+    def test_clean_header_passes(self):
+        self.assertEqual(run_on({"src/tmerge/x/good.h": GOOD_HEADER}), [])
+
+    def test_comments_do_not_fire(self):
+        content = ("// std::random_device is banned; so is system_clock\n"
+                   "/* rand() and srand() too */\n"
+                   "int f() { return 0; }\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_string_literals_do_not_fire(self):
+        content = 'const char* kMsg = "never call srand() here";\n'
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_allow_suppression(self):
+        content = ("int f() { return rand(); }"
+                   "  // tmerge-lint: allow(randomness)\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_allow_is_rule_specific(self):
+        content = ("int f() { return rand(); }"
+                   "  // tmerge-lint: allow(wall-clock)\n")
+        violations = run_on({"src/tmerge/x/f.cc": content})
+        self.assertTrue(any("[randomness]" in v for v in violations))
+
+    def test_randomness_free_in_tests_dir(self):
+        # The randomness ban is scoped to src/ — tests may use ad-hoc
+        # entropy-free LCGs or (rarely) ambient entropy.
+        content = "int f() { return rand(); }\n"
+        self.assertEqual(run_on({"tests/x/f.cc": content}), [])
+
+    def test_identifier_substrings_do_not_fire(self):
+        content = ("int operand(int x) { return x; }\n"
+                   "int g() { return operand(1); }\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+
+class GuardDerivationTest(unittest.TestCase):
+    def test_src_prefix_stripped(self):
+        self.assertEqual(
+            tmerge_lint.expected_guard(
+                pathlib.PurePosixPath("src/tmerge/core/rng.h")),
+            "TMERGE_CORE_RNG_H_")
+
+    def test_non_src_keeps_tmerge_root(self):
+        self.assertEqual(
+            tmerge_lint.expected_guard(
+                pathlib.PurePosixPath("tests/testing/test_util.h")),
+            "TMERGE_TESTS_TESTING_TEST_UTIL_H_")
+        self.assertEqual(
+            tmerge_lint.expected_guard(
+                pathlib.PurePosixPath("bench/bench_util.h")),
+            "TMERGE_BENCH_BENCH_UTIL_H_")
+
+
+if __name__ == "__main__":
+    unittest.main()
