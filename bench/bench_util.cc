@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "tmerge/core/thread_pool.h"
+#include "tmerge/fault/registry.h"
 #include "tmerge/obs/export.h"
 #include "tmerge/obs/metrics.h"
 #include "tmerge/merge/baseline.h"
@@ -91,6 +92,33 @@ void InitObsFromEnv() {
   obs::SetEnabled(true);
 }
 
+void InitFaultFromEnv() {
+  const char* seed_env = std::getenv("TMERGE_FAULT_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long seed = std::strtoull(seed_env, &end, 10);
+    if (errno != 0 || end == seed_env || *end != '\0') {
+      std::fprintf(stderr,
+                   "bench: ignoring invalid TMERGE_FAULT_SEED=\"%s\" "
+                   "(want a non-negative integer); seed unchanged\n",
+                   seed_env);
+    } else {
+      fault::GlobalRegistry().SetSeed(static_cast<std::uint64_t>(seed));
+    }
+  }
+  const char* spec = std::getenv("TMERGE_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  // Strict like TMERGE_NUM_THREADS / TMERGE_OBS: a malformed spec arms
+  // nothing (ApplySpec validates every entry before arming any).
+  core::Status applied = fault::GlobalRegistry().ApplySpec(spec);
+  if (!applied.ok()) {
+    std::fprintf(stderr,
+                 "bench: ignoring invalid TMERGE_FAULT=\"%s\": %s\n", spec,
+                 applied.ToString().c_str());
+  }
+}
+
 void EmitObsSnapshot(const std::string& bench_name) {
   if (!obs::Enabled()) {
     std::cout << "(obs disabled: no instrumentation snapshot for "
@@ -107,6 +135,7 @@ BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
                               const merge::WindowConfig& window,
                               std::uint64_t seed, int num_threads) {
   InitObsFromEnv();
+  InitFaultFromEnv();
   BenchEnv env;
   env.name = sim::DatasetProfileName(profile);
   env.dataset = std::make_unique<sim::Dataset>(

@@ -48,6 +48,16 @@ int BenchNumThreads();
 /// explicit.
 void InitObsFromEnv();
 
+/// Applies the TMERGE_FAULT / TMERGE_FAULT_SEED environment variables to
+/// the global failpoint registry (fault/registry.h). TMERGE_FAULT is a
+/// spec string "point=probability[@latency];..." (e.g.
+/// "reid.embed=0.1;io.mot.corrupt_row=0.01@0.002") applied via ApplySpec;
+/// TMERGE_FAULT_SEED is the injection seed (default 0). Parsing is strict
+/// like the other TMERGE_* knobs: a malformed spec or seed is rejected
+/// with a warning on stderr and arms nothing — a typo must never silently
+/// run a bench with the wrong fault schedule. Called by PrepareEnv*.
+void InitFaultFromEnv();
+
 /// Prints one machine-readable "OBS_JSON {...}" line: the default
 /// registry's snapshot wrapped with the bench name, next to the bench's
 /// BENCH_JSON numbers. No-op (with a notice) when instrumentation is

@@ -17,6 +17,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kInternal,
+  /// A dependency transiently failed (e.g. a ReID inference error); the
+  /// operation may succeed if retried. The code fault-tolerant callers
+  /// branch on (see reid::ReidGuard).
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -48,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

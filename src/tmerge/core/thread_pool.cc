@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
+#include "tmerge/fault/failpoint.h"
 #include "tmerge/obs/span.h"
 
 namespace tmerge::core {
@@ -101,13 +103,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
+  std::uint64_t ticket =
+      submit_tickets_.fetch_add(1, std::memory_order_relaxed);
+  if (TMERGE_FAILPOINT("core.pool.submit", ticket)) {
+    return Status::Unavailable("injected task rejection (submit ticket " +
+                               std::to_string(ticket) + ")");
+  }
   TMERGE_OBS(if (obs::Enabled()) task = InstrumentTask(std::move(task)));
   {
     MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   wake_.NotifyOne();
+  return Status::Ok();
 }
 
 bool ThreadPool::InWorkerThread() const {
@@ -159,11 +168,18 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
     state.active_helpers = helpers;
   }
   for (int h = 0; h < helpers; ++h) {
-    Submit([&state] {
+    Status submitted = Submit([&state] {
       state.RunLoop();
       MutexLock lock(state.mutex);
       if (--state.active_helpers == 0) state.done.NotifyAll();
     });
+    if (!submitted.ok()) {
+      // Rejected helper (injected executor saturation): the remaining
+      // participants — at minimum the calling thread below — still claim
+      // every index, so the loop completes with reduced parallelism.
+      MutexLock lock(state.mutex);
+      --state.active_helpers;
+    }
   }
 
   state.RunLoop();

@@ -1,6 +1,7 @@
 #ifndef TMERGE_CORE_THREAD_POOL_H_
 #define TMERGE_CORE_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "tmerge/core/mutex.h"
+#include "tmerge/core/status.h"
 #include "tmerge/core/thread_annotations.h"
 
 namespace tmerge::core {
@@ -60,12 +62,20 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw (an escaped exception
   /// terminates the process); use ParallelFor for throwing work.
-  void Submit(std::function<void()> task) TMERGE_EXCLUDES(mutex_);
+  ///
+  /// Returns Unavailable without enqueueing when the "core.pool.submit"
+  /// failpoint rejects the task (modeling a saturated executor); always OK
+  /// otherwise. The failpoint is keyed by a per-pool submission ticket, so
+  /// the rejection schedule is deterministic whenever submissions are
+  /// (ParallelFor submits all helpers from the calling thread).
+  core::Status Submit(std::function<void()> task) TMERGE_EXCLUDES(mutex_);
 
   /// Runs `fn(i)` for every i in [begin, end), distributing indices over
   /// the workers plus the calling thread. Blocks until every index ran (or
   /// an exception cut the loop short). Empty and single-index ranges, and
-  /// calls from inside one of this pool's workers, run inline.
+  /// calls from inside one of this pool's workers, run inline. Helper
+  /// tasks rejected by Submit degrade gracefully: the surviving
+  /// participants (at minimum the calling thread) still run every index.
   void ParallelFor(std::int64_t begin, std::int64_t end,
                    const std::function<void(std::int64_t)>& fn)
       TMERGE_EXCLUDES(mutex_);
@@ -86,6 +96,9 @@ class ThreadPool {
   /// no lock.
   std::vector<std::thread> workers_;
   bool stopping_ TMERGE_GUARDED_BY(mutex_) = false;
+  /// Monotonic ticket per Submit call; keys the "core.pool.submit"
+  /// failpoint.
+  std::atomic<std::uint64_t> submit_tickets_{0};
 };
 
 }  // namespace tmerge::core

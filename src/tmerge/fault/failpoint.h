@@ -1,0 +1,52 @@
+#ifndef TMERGE_FAULT_FAILPOINT_H_
+#define TMERGE_FAULT_FAILPOINT_H_
+
+#include "tmerge/fault/registry.h"
+
+// Failpoint sites. A site names a failure the library promises to tolerate
+// and passes a 64-bit key identifying the logical operation, so the
+// injected schedule is a pure function of (seed, name, key) — identical at
+// any thread count (see registry.h).
+//
+// Catalog of shipped failpoints (DESIGN.md "Fault model & degraded mode"):
+//   reid.embed          one ReID forward pass errors (transient)
+//   reid.latency        one ReID forward pass suffers a simulated latency
+//                       spike (charged to the cost model, never slept)
+//   reid.cache.evict    a cached feature is dropped before lookup (the
+//                       reuse optimization loses an entry)
+//   reid.cache.miss     a lookup is forced to miss without eviction (a
+//                       re-embed is charged; the entry is refreshed)
+//   io.mot.short_read   a MOT reader's input ends mid-stream
+//   io.mot.corrupt_row  a MOT reader row arrives corrupted
+//   core.pool.submit    ThreadPool::Submit rejects the task
+//
+// Compile-out: -DTMERGE_FAULT_DISABLED erases every site to a constant, so
+// production builds carry no registry lookups at all (the registry class
+// itself stays linkable, mirroring TMERGE_OBS_DISABLED).
+
+#if defined(TMERGE_FAULT_DISABLED)
+
+// The operands are void-evaluated (all sites pass pure expressions) so the
+// disabled build neither warns about unused values nor changes behavior;
+// the optimizer deletes them and the site folds to a constant.
+#define TMERGE_FAILPOINT(name, key) ((void)(name), (void)(key), false)
+#define TMERGE_FAILPOINT_LATENCY(name, key) ((void)(name), (void)(key), 0.0)
+
+#else
+
+/// True when the armed failpoint `name` fires for operation `key`.
+/// Evaluates to false (one relaxed load) when nothing is armed.
+#define TMERGE_FAILPOINT(name, key)                        \
+  (::tmerge::fault::GlobalRegistry().AnyArmed() &&         \
+   ::tmerge::fault::GlobalRegistry().ShouldFail((name), (key)))
+
+/// Simulated latency-spike seconds for operation `key` (0.0 when disarmed
+/// or not fired). The caller charges the result to its cost model.
+#define TMERGE_FAILPOINT_LATENCY(name, key)                \
+  (::tmerge::fault::GlobalRegistry().AnyArmed()            \
+       ? ::tmerge::fault::GlobalRegistry().LatencySpike((name), (key)) \
+       : 0.0)
+
+#endif  // TMERGE_FAULT_DISABLED
+
+#endif  // TMERGE_FAULT_FAILPOINT_H_

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
+#include <initializer_list>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tmerge/fault/failpoint.h"
 
 namespace tmerge::io {
 namespace {
@@ -28,11 +32,21 @@ std::vector<std::string_view> SplitCsv(std::string_view line) {
 }
 
 bool ParseDouble(std::string_view field, double& out) {
-  // std::from_chars<double> handles leading '-' but not leading spaces.
+  // std::from_chars<double> handles leading '-' but not leading spaces. It
+  // also accepts "nan" and "inf" — callers that feed geometry must reject
+  // those via std::isfinite, or a single corrupt row would poison every
+  // downstream IoU/score computation (found by the io fuzz test).
   while (!field.empty() && field.front() == ' ') field.remove_prefix(1);
   auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
                                    out);
   return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool AllFinite(std::initializer_list<double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
 }
 
 bool ParseInt(std::string_view field, std::int64_t& out) {
@@ -44,6 +58,21 @@ bool ParseInt(std::string_view field, std::int64_t& out) {
 
 std::string LineError(std::size_t line_number, const std::string& message) {
   return "line " + std::to_string(line_number) + ": " + message;
+}
+
+/// Injected read faults, applied per row in every reader: a short read
+/// (stream ends mid-file) or a corrupt row (parses as garbage). Keyed by
+/// line number so a fixed seed reproduces the same failing line.
+core::Status InjectedRowFault(std::size_t line_number) {
+  if (TMERGE_FAILPOINT("io.mot.short_read", line_number)) {
+    return core::Status::Unavailable(
+        LineError(line_number, "injected short read (stream truncated)"));
+  }
+  if (TMERGE_FAILPOINT("io.mot.corrupt_row", line_number)) {
+    return core::Status::InvalidArgument(
+        LineError(line_number, "injected corrupt row"));
+  }
+  return core::Status::Ok();
 }
 
 }  // namespace
@@ -88,6 +117,9 @@ core::Result<track::TrackingResult> ReadTracks(std::istream& is) {
   std::size_t line_number = 0;
   while (std::getline(is, line)) {
     ++line_number;
+    if (core::Status fault = InjectedRowFault(line_number); !fault.ok()) {
+      return fault;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string_view> fields = SplitCsv(line);
     if (fields.size() < 7) {
@@ -102,6 +134,10 @@ core::Result<track::TrackingResult> ReadTracks(std::istream& is) {
         !ParseDouble(fields[6], confidence)) {
       return core::Status::InvalidArgument(
           LineError(line_number, "malformed field"));
+    }
+    if (!AllFinite({left, top, width, height, confidence})) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "non-finite value"));
     }
     if (frame1 < 1) {
       return core::Status::InvalidArgument(
@@ -162,6 +198,9 @@ core::Result<sim::SyntheticVideo> ReadGroundTruth(std::istream& is) {
   std::size_t line_number = 0;
   while (std::getline(is, line)) {
     ++line_number;
+    if (core::Status fault = InjectedRowFault(line_number); !fault.ok()) {
+      return fault;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string_view> fields = SplitCsv(line);
     if (fields.size() < 6) {
@@ -180,6 +219,10 @@ core::Result<sim::SyntheticVideo> ReadGroundTruth(std::istream& is) {
     if (fields.size() >= 9 && !ParseDouble(fields[8], visibility)) {
       return core::Status::InvalidArgument(
           LineError(line_number, "malformed visibility"));
+    }
+    if (!AllFinite({left, top, width, height, visibility})) {
+      return core::Status::InvalidArgument(
+          LineError(line_number, "non-finite value"));
     }
     if (frame1 < 1) {
       return core::Status::InvalidArgument(
@@ -230,6 +273,9 @@ ReadFeatureTable(std::istream& is) {
   std::size_t line_number = 0;
   while (std::getline(is, line)) {
     ++line_number;
+    if (core::Status fault = InjectedRowFault(line_number); !fault.ok()) {
+      return fault;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string_view> fields = SplitCsv(line);
     if (fields.size() < 3) {
@@ -244,7 +290,8 @@ ReadFeatureTable(std::istream& is) {
     }
     reid::FeatureVector feature(fields.size() - 2);
     for (std::size_t i = 2; i < fields.size(); ++i) {
-      if (!ParseDouble(fields[i], feature[i - 2])) {
+      if (!ParseDouble(fields[i], feature[i - 2]) ||
+          !std::isfinite(feature[i - 2])) {
         return core::Status::InvalidArgument(
             LineError(line_number, "malformed feature value"));
       }

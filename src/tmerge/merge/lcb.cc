@@ -19,6 +19,9 @@ SelectionResult LcbSelector::Select(const PairContext& context,
                                     const SelectorOptions& options) {
   core::WallTimer timer;
   reid::InferenceMeter meter(options.cost_model);
+  // Per-window fault tolerance, charge-identical to the bare cache until a
+  // failpoint fires (see reid/reid_guard.h).
+  reid::ReidGuard guard(options.fault_policy, cache, model, meter);
   core::Rng rng(options.seed ^ 0x1CBULL);
   const bool batched = options.batch_size > 1;
   const std::size_t num_pairs = context.num_pairs();
@@ -42,11 +45,18 @@ SelectionResult LcbSelector::Select(const PairContext& context,
     reid::CropRef crop_a = MakeCropRef(context.BoxesA(p)[row]);
     reid::CropRef crop_b = MakeCropRef(context.BoxesB(p)[col]);
     if (batched) {
-      cache.GetOrEmbedBatch({crop_a, crop_b}, model, meter);
+      guard.TryGetBatch({crop_a, crop_b});
     }
-    const auto& fa = cache.GetOrEmbed(crop_a, model, meter);
-    const auto& fb = cache.GetOrEmbed(crop_b, model, meter);
-    double distance = model.NormalizedDistance(fa, fb);
+    const reid::FeatureVector* fa = guard.TryGet(crop_a);
+    const reid::FeatureVector* fb =
+        fa == nullptr ? nullptr : guard.TryGet(crop_b);
+    if (fa == nullptr || fb == nullptr) {
+      // Failed pull: tau and the sampler cell are spent, cost is charged,
+      // but the running mean sees nothing (errors are not evidence).
+      ++result.failed_pulls;
+      return;
+    }
+    double distance = model.NormalizedDistance(*fa, *fb);
     if (batched) {
       meter.ChargeDistanceBatched(1);
     } else {
@@ -71,12 +81,17 @@ SelectionResult LcbSelector::Select(const PairContext& context,
     std::size_t best_pair = num_pairs;
     for (std::size_t p = 0; p < num_pairs; ++p) {
       if (samplers[p].Exhausted()) continue;
-      TMERGE_CHECK(pulls[p] > 0);
-      double mean = sum[p] / static_cast<double>(pulls[p]);
-      double radius =
-          std::sqrt(2.0 * std::log(static_cast<double>(tau + 1)) /
-                    static_cast<double>(pulls[p]));
-      double bound = mean - radius;
+      // A pair whose initial pull failed (injected fault) still has zero
+      // pulls; its bound is vacuously -inf — maximally optimistic, so it
+      // is sampled first — rather than a crash.
+      double bound = -std::numeric_limits<double>::infinity();
+      if (pulls[p] > 0) {
+        double mean = sum[p] / static_cast<double>(pulls[p]);
+        double radius =
+            std::sqrt(2.0 * std::log(static_cast<double>(tau + 1)) /
+                      static_cast<double>(pulls[p]));
+        bound = mean - radius;
+      }
       if (bound < best_bound) {
         best_bound = bound;
         best_pair = p;
@@ -95,6 +110,8 @@ SelectionResult LcbSelector::Select(const PairContext& context,
       context, scores, TopKCount(options.k_fraction, num_pairs));
   result.simulated_seconds = meter.elapsed_seconds();
   result.usage = meter.stats();
+  result.reid_retries = guard.retries();
+  result.degraded = guard.breaker_open();
   result.wall_seconds = timer.Seconds();
   return result;
 }

@@ -38,6 +38,10 @@ void RecordWindowObs(const SelectionResult& result,
   static obs::Counter& batch_calls = registry.GetCounter("reid.batch_calls");
   static obs::Counter& distances =
       registry.GetCounter("reid.distance_evals");
+  static obs::Counter& failed_pulls =
+      registry.GetCounter("pipeline.failed_pulls");
+  static obs::Counter& degraded =
+      registry.GetCounter("pipeline.degraded_windows");
   windows.Add();
   pairs.Add(static_cast<std::int64_t>(window_pairs));
   candidates.Add(static_cast<std::int64_t>(result.candidates.size()));
@@ -49,6 +53,8 @@ void RecordWindowObs(const SelectionResult& result,
   batched_crops.Add(result.usage.batched_crops);
   batch_calls.Add(result.usage.batch_calls);
   distances.Add(result.usage.distance_evals);
+  failed_pulls.Add(result.failed_pulls);
+  if (result.degraded) degraded.Add();
 }
 
 }  // namespace
@@ -158,6 +164,9 @@ EvalResult EvaluateSelector(const PreparedVideo& prepared,
     eval.summed_wall_seconds += result.wall_seconds;
     eval.usage += result.usage;
     eval.box_pairs_evaluated += result.box_pairs_evaluated;
+    eval.failed_pulls += result.failed_pulls;
+    eval.reid_retries += result.reid_retries;
+    if (result.degraded) ++eval.degraded_windows;
     eval.pairs += static_cast<std::int64_t>(window.pairs.size());
     ++eval.windows;
     for (const auto& pair : result.candidates) selected.insert(pair);
@@ -209,6 +218,9 @@ EvalResult EvaluateDataset(const std::vector<PreparedVideo>& videos,
     total.summed_wall_seconds += eval.summed_wall_seconds;
     total.usage += eval.usage;
     total.box_pairs_evaluated += eval.box_pairs_evaluated;
+    total.failed_pulls += eval.failed_pulls;
+    total.reid_retries += eval.reid_retries;
+    total.degraded_windows += eval.degraded_windows;
     total.frames += eval.frames;
     total.windows += eval.windows;
     total.pairs += eval.pairs;
@@ -259,6 +271,9 @@ EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
     mean.elapsed_seconds += eval.elapsed_seconds;
     mean.hits += eval.hits;
     mean.box_pairs_evaluated += eval.box_pairs_evaluated;
+    mean.failed_pulls += eval.failed_pulls;
+    mean.reid_retries += eval.reid_retries;
+    mean.degraded_windows += eval.degraded_windows;
     mean.usage += eval.usage;
   }
   mean.rec /= trials;
@@ -268,11 +283,15 @@ EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
   mean.elapsed_seconds /= trials;
   mean.hits /= trials;
   mean.box_pairs_evaluated /= trials;
+  mean.failed_pulls /= trials;
+  mean.reid_retries /= trials;
+  mean.degraded_windows /= trials;
   mean.usage.single_inferences /= trials;
   mean.usage.batched_crops /= trials;
   mean.usage.batch_calls /= trials;
   mean.usage.distance_evals /= trials;
   mean.usage.cache_hits /= trials;
+  mean.usage.failed_embeds /= trials;
   return mean;
 }
 

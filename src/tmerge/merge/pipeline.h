@@ -99,6 +99,12 @@ struct EvalResult {
   std::int64_t truth_pairs = 0;
   std::int64_t hits = 0;
   std::int64_t box_pairs_evaluated = 0;
+  /// Fault-tolerance aggregates (zero with no failpoints armed): arm pulls
+  /// lost to injected ReID faults, retry attempts, and windows whose
+  /// circuit breaker opened (DESIGN.md "Fault model & degraded mode").
+  std::int64_t failed_pulls = 0;
+  std::int64_t reid_retries = 0;
+  std::int64_t degraded_windows = 0;
   /// Union of selected candidates across windows (for merging).
   std::vector<metrics::TrackPairKey> candidates;
 };

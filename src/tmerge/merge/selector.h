@@ -8,6 +8,7 @@
 #include "tmerge/merge/pair_store.h"
 #include "tmerge/reid/cost_model.h"
 #include "tmerge/reid/feature_cache.h"
+#include "tmerge/reid/reid_guard.h"
 #include "tmerge/reid/reid_model.h"
 
 namespace tmerge::merge {
@@ -24,6 +25,14 @@ struct SelectorOptions {
   reid::CostModel cost_model;
   /// Seed for the selector's own randomness (sampling, Bernoulli trials).
   std::uint64_t seed = 7;
+  /// Retry / circuit-breaker policy for the fault-tolerant selectors
+  /// (TMerge, LCB), which pull features through a per-window
+  /// reid::ReidGuard. BL and PS stay on the infallible path on purpose:
+  /// they embed every (eta-sampled) crop exactly once with no sampling
+  /// loop to degrade, so a fault policy has nothing to decide for them —
+  /// an embed failure there is a hard error, not a pull to skip. Inert
+  /// unless fault/failpoint.h failpoints are armed.
+  reid::ReidFaultPolicy fault_policy;
 };
 
 /// Output of one selector run on one window.
@@ -48,6 +57,16 @@ struct SelectionResult {
   /// (TMerge only; zero for other selectors or with ULB disabled).
   std::int64_t ulb_pruned_in = 0;
   std::int64_t ulb_pruned_out = 0;
+  /// Arm pulls that failed after exhausting retries (injected ReID faults;
+  /// always zero with no failpoints armed). Failed pulls consume budget
+  /// and cost but never update posteriors — DESIGN.md "Fault model &
+  /// degraded mode".
+  std::int64_t failed_pulls = 0;
+  /// ReID retry attempts made beyond first attempts.
+  std::int64_t reid_retries = 0;
+  /// True when the window's ReID circuit breaker opened: the tail of the
+  /// window ran in degraded (spatial-prior-only) mode.
+  bool degraded = false;
 };
 
 /// Returns ceil(k_fraction * num_pairs), clamped to [0, num_pairs].

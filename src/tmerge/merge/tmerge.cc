@@ -136,6 +136,9 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
                                        const SelectorOptions& options) {
   core::WallTimer timer;
   reid::InferenceMeter meter(options.cost_model);
+  // Per-window fault tolerance: every feature pull goes through the guard,
+  // which is charge-identical to the bare cache until a failpoint fires.
+  reid::ReidGuard guard(options.fault_policy, cache, model, meter);
   core::Rng rng(options.seed ^ 0x73A3ULL);
   const bool batched = options.batch_size > 1;
   const std::size_t num_pairs = context.num_pairs();
@@ -177,9 +180,24 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
 
   auto finish_evaluation = [&](std::size_t p, const reid::CropRef& crop_a,
                                const reid::CropRef& crop_b) {
-    const auto& fa = cache.GetOrEmbed(crop_a, model, meter);
-    const auto& fb = cache.GetOrEmbed(crop_b, model, meter);
-    double distance = model.NormalizedDistance(fa, fb);
+    const reid::FeatureVector* fa = guard.TryGet(crop_a);
+    const reid::FeatureVector* fb =
+        fa == nullptr ? nullptr : guard.TryGet(crop_b);
+    if (fa == nullptr || fb == nullptr) {
+      // Failed pull (degraded mode): the sampler cell and tau budget are
+      // already spent and the failed inference was charged, but the
+      // posterior is NOT updated and no Bernoulli draw is consumed — an
+      // error must never look like evidence about the pair's distance.
+      // The exhaustion check still runs: the cell is gone either way, and
+      // skipping it would let the arg-min loop re-Sample() an exhausted
+      // sampler.
+      ++result.failed_pulls;
+      if (samplers[p].Exhausted() && bandits[p].state == PairState::kLive) {
+        bandits[p].state = PairState::kExhausted;
+      }
+      return;
+    }
+    double distance = model.NormalizedDistance(*fa, *fb);
     if (batched) {
       meter.ChargeDistanceBatched(1);
     } else {
@@ -226,7 +244,10 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
         chosen[i] = draws[i].second;
         pending[i] = evaluate_one(chosen[i], &crops);
       }
-      cache.GetOrEmbedBatch(crops, model, meter);
+      // Prefetch the round's crops in one batched call; crops that fail
+      // here are retried on the single path inside finish_evaluation
+      // (charge-identical to GetOrEmbedBatch + GetOrEmbed when disarmed).
+      guard.TryGetBatch(crops);
       for (std::size_t i = 0; i < take; ++i) {
         finish_evaluation(chosen[i], pending[i].first, pending[i].second);
       }
@@ -258,6 +279,8 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
   result.candidates = internal::TopKByScore(context, scores, k_count);
   result.simulated_seconds = meter.elapsed_seconds();
   result.usage = meter.stats();
+  result.reid_retries = guard.retries();
+  result.degraded = guard.breaker_open();
   result.wall_seconds = timer.Seconds();
   TMERGE_OBS(RecordBanditObs(
       tau, bandits,

@@ -10,6 +10,7 @@ UsageStats& UsageStats::operator+=(const UsageStats& other) {
   batch_calls += other.batch_calls;
   distance_evals += other.distance_evals;
   cache_hits += other.cache_hits;
+  failed_embeds += other.failed_embeds;
   return *this;
 }
 
@@ -47,6 +48,22 @@ void InferenceMeter::ChargeOverhead(std::int64_t count) {
 
 void InferenceMeter::RecordCacheHit(std::int64_t count) {
   stats_.cache_hits += count;
+}
+
+void InferenceMeter::ChargeFailedSingle(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  stats_.failed_embeds += count;
+  clock_.Advance(model_.single_inference_seconds * count);
+}
+
+void InferenceMeter::ChargeFailedBatchItem(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  stats_.failed_embeds += count;
+  clock_.Advance(model_.batch_item_seconds * count);
+}
+
+void InferenceMeter::ChargePenalty(double seconds) {
+  clock_.Advance(seconds);
 }
 
 }  // namespace tmerge::reid

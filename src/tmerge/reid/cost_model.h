@@ -40,8 +40,13 @@ struct UsageStats {
   std::int64_t batch_calls = 0;
   std::int64_t distance_evals = 0;
   std::int64_t cache_hits = 0;
+  /// Embed attempts that errored (injected or real). Each one was charged
+  /// inference time but produced no feature — the "failed pulls charged to
+  /// the cost model" of the degraded mode (DESIGN.md "Fault model").
+  std::int64_t failed_embeds = 0;
 
-  /// Total crops embedded (single + batched), excluding cache hits.
+  /// Total crops embedded (single + batched), excluding cache hits and
+  /// failed attempts.
   std::int64_t TotalInferences() const {
     return single_inferences + batched_crops;
   }
@@ -73,6 +78,20 @@ class InferenceMeter {
 
   /// Records `count` feature-cache hits (free, but reported).
   void RecordCacheHit(std::int64_t count = 1);
+
+  /// Charges one *failed* unbatched forward pass: full inference time is
+  /// spent (the model ran and errored/timed out) but no feature exists, so
+  /// only failed_embeds — never single_inferences — advances.
+  void ChargeFailedSingle(std::int64_t count = 1);
+
+  /// Charges `count` failed crops inside a batched inference (the per-item
+  /// marginal cost; the batch's fixed cost is charged by ChargeBatch for
+  /// the surviving crops).
+  void ChargeFailedBatchItem(std::int64_t count);
+
+  /// Charges raw simulated seconds with no counter: retry backoff and
+  /// injected latency spikes. Deterministic sim-clock time, never a sleep.
+  void ChargePenalty(double seconds);
 
   double elapsed_seconds() const { return clock_.elapsed_seconds(); }
   const UsageStats& stats() const { return stats_; }

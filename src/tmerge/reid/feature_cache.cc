@@ -1,5 +1,7 @@
 #include "tmerge/reid/feature_cache.h"
 
+#include "tmerge/fault/failpoint.h"
+
 namespace tmerge::reid {
 
 const FeatureVector& FeatureCache::GetOrEmbed(const CropRef& crop,
@@ -13,6 +15,40 @@ const FeatureVector& FeatureCache::GetOrEmbed(const CropRef& crop,
   meter.ChargeSingle();
   auto [inserted, _] = cache_.emplace(crop.detection_id, model.Embed(crop));
   return inserted->second;
+}
+
+core::Result<const FeatureVector*> FeatureCache::TryGetOrEmbed(
+    const CropRef& crop, const ReidModel& model, InferenceMeter& meter,
+    std::uint64_t salt) {
+  const std::uint64_t id = crop.detection_id;
+  if (TMERGE_FAILPOINT("reid.cache.evict", id ^ salt)) {
+    cache_.erase(id);
+  }
+  auto it = cache_.find(id);
+  const bool forced_miss =
+      it != cache_.end() && TMERGE_FAILPOINT("reid.cache.miss", id ^ salt);
+  if (it != cache_.end() && !forced_miss) {
+    meter.RecordCacheHit();
+    return core::Result<const FeatureVector*>(&it->second);
+  }
+  // A latency spike charges its simulated seconds on top of the normal
+  // inference charge, whether or not the embed then succeeds.
+  const double spike = TMERGE_FAILPOINT_LATENCY("reid.latency", id ^ salt);
+  if (spike > 0.0) meter.ChargePenalty(spike);
+  core::Result<FeatureVector> embedded = model.TryEmbed(crop, salt);
+  if (!embedded.ok()) {
+    meter.ChargeFailedSingle();
+    return embedded.status();
+  }
+  meter.ChargeSingle();
+  if (forced_miss) {
+    // Refresh in place: the entry survived eviction but the lookup was
+    // forced to miss, so the re-embed result overwrites it.
+    it->second = std::move(embedded).value();
+    return core::Result<const FeatureVector*>(&it->second);
+  }
+  auto [inserted, _] = cache_.emplace(id, std::move(embedded).value());
+  return core::Result<const FeatureVector*>(&inserted->second);
 }
 
 std::vector<const FeatureVector*> FeatureCache::GetOrEmbedBatch(
@@ -34,6 +70,48 @@ std::vector<const FeatureVector*> FeatureCache::GetOrEmbedBatch(
   for (const auto& crop : crops) {
     out.push_back(&cache_.at(crop.detection_id));
   }
+  return out;
+}
+
+std::vector<const FeatureVector*> FeatureCache::TryGetOrEmbedBatch(
+    const std::vector<CropRef>& crops, const ReidModel& model,
+    InferenceMeter& meter, std::uint64_t salt) {
+  // Pointers are filled during the pass (not via a final lookup) so a
+  // forced-miss whose re-embed failed reports failure even when a stale
+  // entry survives in the map. Stability across emplace makes this safe.
+  std::vector<const FeatureVector*> out(crops.size(), nullptr);
+  std::int64_t misses = 0;
+  for (std::size_t i = 0; i < crops.size(); ++i) {
+    const CropRef& crop = crops[i];
+    const std::uint64_t id = crop.detection_id;
+    if (TMERGE_FAILPOINT("reid.cache.evict", id ^ salt)) {
+      cache_.erase(id);
+    }
+    auto it = cache_.find(id);
+    const bool forced_miss =
+        it != cache_.end() && TMERGE_FAILPOINT("reid.cache.miss", id ^ salt);
+    if (it != cache_.end() && !forced_miss) {
+      meter.RecordCacheHit();
+      out[i] = &it->second;
+      continue;
+    }
+    const double spike = TMERGE_FAILPOINT_LATENCY("reid.latency", id ^ salt);
+    if (spike > 0.0) meter.ChargePenalty(spike);
+    core::Result<FeatureVector> embedded = model.TryEmbed(crop, salt);
+    if (!embedded.ok()) {
+      meter.ChargeFailedBatchItem(1);
+      continue;
+    }
+    if (forced_miss) {
+      it->second = std::move(embedded).value();
+      out[i] = &it->second;
+    } else {
+      auto [inserted, _] = cache_.emplace(id, std::move(embedded).value());
+      out[i] = &inserted->second;
+    }
+    ++misses;
+  }
+  meter.ChargeBatch(misses);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tmerge/core/status.h"
 #include "tmerge/reid/cost_model.h"
 #include "tmerge/reid/feature.h"
 #include "tmerge/reid/reid_model.h"
@@ -47,6 +48,37 @@ class FeatureCache {
   std::vector<const FeatureVector*> GetOrEmbedBatch(
       const std::vector<CropRef>& crops, const ReidModel& model,
       InferenceMeter& meter);
+
+  /// Fallible variant of GetOrEmbed for fault-tolerant callers (see
+  /// reid::ReidGuard, which adds retry/backoff/breaker policy on top).
+  /// Three failpoints apply (catalog in fault/failpoint.h):
+  ///   - "reid.cache.evict": the cached entry is dropped before lookup,
+  ///     forcing a fresh (charged) embed;
+  ///   - "reid.cache.miss": the lookup is forced to miss without eviction
+  ///     (a re-embed is charged and refreshes the entry);
+  ///   - "reid.embed" (via ReidModel::TryEmbed, keyed with `salt` so retry
+  ///     attempts draw independently): the embed itself errors. The failed
+  ///     attempt charges full single-inference time to the meter
+  ///     (failed_embeds in UsageStats) and caches nothing.
+  /// An injected "reid.latency" spike additionally charges its simulated
+  /// seconds as a penalty. With no failpoints armed this is GetOrEmbed,
+  /// charge for charge.
+  core::Result<const FeatureVector*> TryGetOrEmbed(const CropRef& crop,
+                                                   const ReidModel& model,
+                                                   InferenceMeter& meter,
+                                                   std::uint64_t salt = 0);
+
+  /// Fallible variant of GetOrEmbedBatch: one single-shot attempt per crop
+  /// (no retries — ReidGuard layers those by re-calling with the failed
+  /// subset and a new salt). Failed crops yield nullptr entries and charge
+  /// the per-item batch cost via ChargeFailedBatchItem; the batch charge
+  /// covers successful misses only. The same failpoints as TryGetOrEmbed
+  /// apply, with the same keys, so single and batched runs see the same
+  /// fault schedule. With no failpoints armed this is GetOrEmbedBatch,
+  /// charge for charge.
+  std::vector<const FeatureVector*> TryGetOrEmbedBatch(
+      const std::vector<CropRef>& crops, const ReidModel& model,
+      InferenceMeter& meter, std::uint64_t salt = 0);
 
   /// True if the crop is already cached (no cost either way).
   bool Contains(std::uint64_t detection_id) const {

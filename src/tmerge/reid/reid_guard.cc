@@ -1,0 +1,104 @@
+#include "tmerge/reid/reid_guard.h"
+
+#include <cstddef>
+
+#include "tmerge/obs/metrics.h"
+
+namespace tmerge::reid {
+
+namespace {
+
+void CountRetries(std::int64_t count) {
+  if (count > 0 && obs::Enabled()) {
+    static obs::Counter& retries =
+        obs::DefaultRegistry().GetCounter("reid.retries");
+    retries.Add(count);
+  }
+}
+
+void CountBreakerOpen() {
+  if (obs::Enabled()) {
+    static obs::Counter& opened =
+        obs::DefaultRegistry().GetCounter("reid.breaker_open");
+    opened.Add();
+  }
+}
+
+}  // namespace
+
+void ReidGuard::RecordOutcome(bool success) {
+  if (success) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++failed_pulls_;
+  ++consecutive_failures_;
+  if (!breaker_open_ && policy_.breaker_failure_threshold > 0 &&
+      consecutive_failures_ >= policy_.breaker_failure_threshold) {
+    breaker_open_ = true;
+    CountBreakerOpen();
+  }
+}
+
+const FeatureVector* ReidGuard::TryGet(const CropRef& crop) {
+  if (breaker_open_) {
+    ++failed_pulls_;
+    return nullptr;
+  }
+  for (int attempt = 0;; ++attempt) {
+    core::Result<const FeatureVector*> result =
+        cache_.TryGetOrEmbed(crop, model_, meter_,
+                             static_cast<std::uint64_t>(attempt));
+    if (result.ok()) {
+      RecordOutcome(true);
+      return result.value();
+    }
+    if (attempt >= policy_.max_retries) break;
+    meter_.ChargePenalty(policy_.backoff_base_seconds *
+                         static_cast<double>(std::int64_t{1} << attempt));
+    ++retries_;
+    CountRetries(1);
+  }
+  RecordOutcome(false);
+  return nullptr;
+}
+
+std::vector<const FeatureVector*> ReidGuard::TryGetBatch(
+    const std::vector<CropRef>& crops) {
+  if (breaker_open_) {
+    failed_pulls_ += static_cast<std::int64_t>(crops.size());
+    return std::vector<const FeatureVector*>(crops.size(), nullptr);
+  }
+  std::vector<const FeatureVector*> out =
+      cache_.TryGetOrEmbedBatch(crops, model_, meter_, 0);
+  for (int attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+    std::vector<std::size_t> failed;
+    std::vector<CropRef> retry;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i] == nullptr) {
+        failed.push_back(i);
+        retry.push_back(crops[i]);
+      }
+    }
+    if (failed.empty()) break;
+    // One backoff per retry round: the whole retry batch waits together.
+    meter_.ChargePenalty(policy_.backoff_base_seconds *
+                         static_cast<double>(std::int64_t{1}
+                                             << (attempt - 1)));
+    retries_ += static_cast<std::int64_t>(retry.size());
+    CountRetries(static_cast<std::int64_t>(retry.size()));
+    std::vector<const FeatureVector*> retried = cache_.TryGetOrEmbedBatch(
+        retry, model_, meter_, static_cast<std::uint64_t>(attempt));
+    for (std::size_t j = 0; j < failed.size(); ++j) {
+      out[failed[j]] = retried[j];
+    }
+  }
+  // Outcomes are recorded in crop order so breaker behaviour is identical
+  // to issuing the pulls one by one.
+  for (const FeatureVector* feature : out) {
+    RecordOutcome(feature != nullptr);
+  }
+  return out;
+}
+
+}  // namespace tmerge::reid

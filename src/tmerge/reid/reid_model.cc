@@ -1,8 +1,29 @@
 #include "tmerge/reid/reid_model.h"
 
 #include "tmerge/core/status.h"
+#include "tmerge/fault/failpoint.h"
 
 namespace tmerge::reid {
+
+namespace {
+
+/// Mixes a retry salt into a detection id so attempt k of the same crop
+/// keys an independent failpoint draw (salt 0 = the first attempt).
+std::uint64_t AttemptKey(std::uint64_t detection_id, std::uint64_t salt) {
+  return detection_id ^ (salt * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+core::Result<FeatureVector> ReidModel::TryEmbed(const CropRef& crop,
+                                                std::uint64_t salt) const {
+  if (TMERGE_FAILPOINT("reid.embed", AttemptKey(crop.detection_id, salt))) {
+    return core::Status::Unavailable(
+        "injected reid.embed failure for detection " +
+        std::to_string(crop.detection_id));
+  }
+  return Embed(crop);
+}
 
 PrecomputedReidModel::PrecomputedReidModel(
     std::unordered_map<std::uint64_t, FeatureVector> features,

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "tmerge/core/status.h"
 #include "tmerge/reid/feature.h"
 
 namespace tmerge::reid {
@@ -32,8 +33,19 @@ class ReidModel {
  public:
   virtual ~ReidModel() = default;
 
-  /// Embeds one crop. Deterministic per crop.
+  /// Embeds one crop. Deterministic per crop. Infallible: a production
+  /// serving stack cannot assume this, which is what TryEmbed models.
   virtual FeatureVector Embed(const CropRef& crop) const = 0;
+
+  /// Fallible embedding path for fault-tolerant callers: identical to
+  /// Embed except that the "reid.embed" failpoint (fault/failpoint.h) may
+  /// inject a transient Unavailable error, keyed by the crop's detection
+  /// id mixed with `salt` (retry attempts pass distinct salts so each
+  /// attempt draws an independent verdict). With no failpoint armed — or
+  /// under -DTMERGE_FAULT_DISABLED — this is exactly Embed, bit for bit.
+  /// Applies to every implementation; thread-safe like Embed.
+  core::Result<FeatureVector> TryEmbed(const CropRef& crop,
+                                       std::uint64_t salt = 0) const;
 
   /// Scale that maps raw feature distances into the paper's normalized
   /// d-tilde in [0, 1].

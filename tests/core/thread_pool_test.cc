@@ -24,10 +24,11 @@ TEST(ThreadPoolTest, SubmitRunsTasks) {
   constexpr int kTasks = 64;
   std::atomic<int> finished{0};
   for (int i = 0; i < kTasks; ++i) {
-    pool.Submit([&] {
-      counter.fetch_add(1);
-      finished.fetch_add(1);
-    });
+    ASSERT_TRUE(pool.Submit([&] {
+                      counter.fetch_add(1);
+                      finished.fetch_add(1);
+                    })
+                    .ok());
   }
   // Destructor semantics discard *pending* tasks, so wait for completion.
   while (finished.load() < kTasks) std::this_thread::yield();

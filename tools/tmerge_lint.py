@@ -13,6 +13,11 @@ tests can see (DESIGN.md "Static analysis & enforced invariants"):
       an explicit allowlist (sim_clock.h, obs/span.h, thread_pool.cc).
       Recall/FPS numbers come from the simulated cost model; a stray
       wall-clock read would let host load leak into "measurements".
+    - no sleeping under src/ (this_thread::sleep_for/sleep_until,
+      sleep/usleep/nanosleep). Simulated latency — retry backoff and
+      injected latency spikes above all — is *charged* to the cost-model
+      SimClock (reid/cost_model.h), never slept: a real sleep would make
+      wall-clock results scheduler-dependent and stall test suites.
 
   hygiene
     - header guards must be TMERGE_<PATH>_H_ derived from the file path,
@@ -27,7 +32,7 @@ static-analysis job. Exit code 0 = clean, 1 = violations, 2 = usage error.
 
 A line can opt out of a named rule with a trailing comment:
     foo();  // tmerge-lint: allow(<rule>)
-where <rule> is one of: randomness, wall-clock, header-guard,
+where <rule> is one of: randomness, wall-clock, no-sleep, header-guard,
 using-namespace, iostream-header. Use sparingly; the allowlists above are
 preferred for whole-file exemptions.
 """
@@ -57,6 +62,8 @@ RANDOMNESS_RE = re.compile(
     r"std::random_device|\brandom_device\b|(?<![\w:.])s?rand\s*\(")
 SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
 STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
+SLEEP_RE = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b|(?<![\w:.])(?:sleep|usleep|nanosleep)\s*\(")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
 
@@ -176,6 +183,12 @@ class Linter:
                                 f"({', '.join(sorted(STEADY_CLOCK_ALLOWLIST))}); "
                                 "route timing through obs spans or "
                                 "core/sim_clock.h")
+            if in_src and SLEEP_RE.search(code):
+                if not self.allowed(orig, "no-sleep"):
+                    self.report(path, lineno, "no-sleep",
+                                "sleeping is banned in src/; charge "
+                                "simulated latency to the cost-model "
+                                "SimClock (reid/cost_model.h) instead")
             if is_header and USING_NAMESPACE_RE.search(code):
                 if not self.allowed(orig, "using-namespace"):
                     self.report(path, lineno, "using-namespace",

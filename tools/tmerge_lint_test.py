@@ -64,6 +64,19 @@ class RuleFiringTest(unittest.TestCase):
             "auto f() { return std::chrono::steady_clock::now(); }",
             "wall-clock")
 
+    def test_sleep_for_banned(self):
+        self.assert_rule(
+            "void f() { std::this_thread::sleep_for(1ms); }", "no-sleep")
+
+    def test_sleep_until_banned(self):
+        self.assert_rule(
+            "void f() { std::this_thread::sleep_until(t); }", "no-sleep")
+
+    def test_posix_sleep_banned(self):
+        self.assert_rule("void f() { usleep(100); }", "no-sleep")
+        self.assert_rule("void f() { sleep(1); }", "no-sleep")
+        self.assert_rule("void f() { nanosleep(&ts, nullptr); }", "no-sleep")
+
     def test_wrong_header_guard(self):
         self.assert_rule("#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n",
                         "header-guard", rel="src/tmerge/x/f.h")
@@ -121,6 +134,17 @@ class NoFalsePositiveTest(unittest.TestCase):
         content = ("int operand(int x) { return x; }\n"
                    "int g() { return operand(1); }\n")
         self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_sleep_identifier_substrings_do_not_fire(self):
+        # Mentions in comments and sleep-like identifiers must not fire.
+        content = ("// never sleep_for in src/ (see no-sleep rule)\n"
+                   "int oversleep(int x) { return x; }\n"
+                   "int g() { return oversleep(1); }\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_sleep_allowed_in_tests_dir(self):
+        content = "void f() { std::this_thread::sleep_for(1ms); }\n"
+        self.assertEqual(run_on({"tests/x/f.cc": content}), [])
 
 
 class GuardDerivationTest(unittest.TestCase):
