@@ -1,12 +1,39 @@
 // Microbenchmarks (google-benchmark) of the hot operations underneath the
 // selectors: Beta sampling, Hungarian assignment, Kalman filtering,
-// synthetic ReID embedding + distance, and one TMerge Thompson round.
+// synthetic ReID embedding + distance, one TMerge Thompson round — plus
+// the slab/kernel hot path this repo optimizes: distance kernels (scalar
+// reference vs unrolled), a one-vs-many distance row (seed-style
+// unordered_map lookup + per-pair scalar sqrt vs slab gather +
+// OneVsManySquared + NormalizedFromSquared), and cache lookups
+// (unordered_map vs the open-addressed DetectionIndex).
+//
+// `bench_micro --json-only` skips the google-benchmark suite and instead
+// times the comparison pairs with a fixed deterministic harness, emitting
+// one BENCH_JSON line per comparison. The CI perf-smoke job validates
+// those lines with json.tool and compares them against the committed
+// bench/BENCH_tier1.json baseline (tools/bench_regress.py).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
 #include "tmerge/core/beta.h"
 #include "tmerge/core/rng.h"
+#include "tmerge/core/status.h"
 #include "tmerge/merge/pair_store.h"
+#include "tmerge/reid/distance_kernels.h"
+#include "tmerge/reid/feature_cache.h"
+#include "tmerge/reid/feature_store.h"
 #include "tmerge/reid/synthetic_reid_model.h"
 #include "tmerge/sim/video_generator.h"
 #include "tmerge/track/hungarian.h"
@@ -111,7 +138,375 @@ void BM_BoxPairSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_BoxPairSampler);
 
+// --- Slab/kernel hot path ----------------------------------------------
+
+/// Feature dimension used throughout (SyntheticReidModel ships dim 16).
+constexpr std::size_t kDim = 16;
+/// Stand-in normalization scale (the model's exact value is irrelevant to
+/// the timing; sqrt + divide + clamp is the per-pair work being measured).
+constexpr double kScale = 4.0;
+
+/// Restores the kernel dispatch mode on scope exit.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(bool scalar)
+      : saved_(reid::kernels::UseScalarKernels()) {
+    reid::kernels::SetUseScalarKernels(scalar);
+  }
+  ~ScopedKernelMode() { reid::kernels::SetUseScalarKernels(saved_); }
+
+ private:
+  bool saved_;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TMERGE_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define TMERGE_BENCH_NOINLINE
+#endif
+
+/// Replica of the seed-era FeatureDistance: runtime dimension check,
+/// scalar loop bounded by a.size(), sqrt. Kept out of line because the
+/// original lived in feature.cc, so seed callers paid a real function
+/// call per box pair.
+TMERGE_BENCH_NOINLINE double SeedFeatureDistance(
+    const reid::FeatureVector& a, const reid::FeatureVector& b) {
+  TMERGE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+/// Boxes per track in the one-vs-many fixture: a 16x16 grid of box pairs
+/// per track pair, a typical window overlap.
+constexpr std::size_t kBoxes = 16;
+
+/// Seed-era model shape: normalization_scale() was virtual on ReidModel,
+/// and NormalizedDistance re-read it through the vtable for every box
+/// pair. noinline keeps the per-pair call in the measurement even if the
+/// optimizer devirtualizes the fixture's concrete type.
+struct SeedScaleModel {
+  virtual ~SeedScaleModel() = default;
+  virtual double normalization_scale() const = 0;
+  double NormalizedDistance(const reid::FeatureVector& a,
+                            const reid::FeatureVector& b) const {
+    double d = SeedFeatureDistance(a, b) / normalization_scale();
+    return std::clamp(d, 0.0, 1.0);
+  }
+};
+
+struct FixedScaleModel final : SeedScaleModel {
+  TMERGE_BENCH_NOINLINE double normalization_scale() const override {
+    return kScale;
+  }
+};
+
+/// One full track-pair evaluation, built both ways, each side replicating
+/// its era's inner loop statement for statement (seed side from the
+/// pre-slab baseline.cc). The seed way: features in unordered_map node
+/// storage, gathered per track pair into freshly constructed
+/// FeatureVector-pointer vectors (one hash lookup + hit-counter bump per
+/// box, as GetOrEmbed did), then a 16x16 grid of
+/// model.NormalizedDistance calls — each an out-of-line scalar
+/// FeatureDistance with per-call sqrt plus a virtual
+/// normalization_scale() read. The current way: features in the slab
+/// arena, gathered as raw rows through DetectionIndex into scratch
+/// reused across pairs, then one OneVsManySquared call per row + one
+/// batched NormalizedFromSquaredMany epilogue. Both sides pay their own
+/// lookup and allocation traffic; accumulation order is identical, so
+/// the two sums must match bit for bit.
+struct PairFixture {
+  PairFixture() {
+    core::Rng rng(41);
+    for (std::size_t i = 0; i < 2 * kBoxes; ++i) {
+      reid::FeatureVector f(kDim);
+      for (double& v : f) v = rng.Normal(0.0, 1.0);
+      // Non-sequential ids, as real detection ids are.
+      std::uint64_t id = i * 2654435761u + 97;
+      ids.push_back(id);
+      map.emplace(id, f);
+      index.Insert(id, store.Append(f));
+    }
+    slab_a.reserve(kBoxes);
+    slab_b.reserve(kBoxes);
+    row.resize(kBoxes);
+  }
+
+  std::unordered_map<std::uint64_t, reid::FeatureVector> map;
+  std::vector<std::uint64_t> ids;
+  reid::FeatureStore store;
+  reid::DetectionIndex index;
+  FixedScaleModel seed_model;
+  std::uint64_t cache_hits = 0;
+  std::vector<const double*> slab_a, slab_b;
+  std::vector<double> row;
+};
+
+double SeedPair(PairFixture& f) {
+  // The seed declared these inside the per-track-pair loop, so every
+  // track pair paid the two gather allocations; reserve matches the
+  // seed's embed_track.
+  std::vector<const reid::FeatureVector*> seed_a, seed_b;
+  seed_a.reserve(kBoxes);
+  seed_b.reserve(kBoxes);
+  for (std::size_t i = 0; i < kBoxes; ++i) {
+    // Seed GetOrEmbed hit path: map find + RecordCacheHit.
+    auto it_a = f.map.find(f.ids[i]);
+    ++f.cache_hits;
+    seed_a.push_back(&it_a->second);
+    auto it_b = f.map.find(f.ids[kBoxes + i]);
+    ++f.cache_hits;
+    seed_b.push_back(&it_b->second);
+  }
+  double sum = 0.0;
+  for (const auto* fa : seed_a) {
+    for (const auto* fb : seed_b) {
+      sum += f.seed_model.NormalizedDistance(*fa, *fb);
+    }
+  }
+  return sum;
+}
+
+double SlabPair(PairFixture& f) {
+  f.slab_a.clear();
+  f.slab_b.clear();
+  for (std::size_t i = 0; i < kBoxes; ++i) {
+    // Current GetOrEmbed hit path: index find + RecordCacheHit.
+    f.slab_a.push_back(f.store.Data(f.index.Find(f.ids[i])));
+    ++f.cache_hits;
+    f.slab_b.push_back(f.store.Data(f.index.Find(f.ids[kBoxes + i])));
+    ++f.cache_hits;
+  }
+  double sum = 0.0;
+  for (const double* fa : f.slab_a) {
+    reid::kernels::OneVsManySquared(fa, f.slab_b.data(), kBoxes, kDim,
+                                    f.row.data());
+    reid::kernels::NormalizedFromSquaredMany(f.row.data(), kBoxes, kScale,
+                                             f.row.data());
+    for (double d : f.row) sum += d;
+  }
+  return sum;
+}
+
+/// The ranking-only fast path layered on top of the same gather: squared
+/// distances with no per-pair sqrt at all (legal when only the order or
+/// a single-distance threshold matters; DESIGN.md §10 spells out where
+/// that is and is not safe).
+double SlabSquaredPair(PairFixture& f) {
+  f.slab_a.clear();
+  f.slab_b.clear();
+  for (std::size_t i = 0; i < kBoxes; ++i) {
+    f.slab_a.push_back(f.store.Data(f.index.Find(f.ids[i])));
+    ++f.cache_hits;
+    f.slab_b.push_back(f.store.Data(f.index.Find(f.ids[kBoxes + i])));
+    ++f.cache_hits;
+  }
+  double sum = 0.0;
+  for (const double* fa : f.slab_a) {
+    reid::kernels::OneVsManySquared(fa, f.slab_b.data(), kBoxes, kDim,
+                                    f.row.data());
+    for (double sq : f.row) sum += sq;
+  }
+  return sum;
+}
+
+/// detection_id -> feature lookup built both ways: the seed-era
+/// unordered_map and the open-addressed DetectionIndex.
+struct LookupFixture {
+  explicit LookupFixture(std::size_t entries) {
+    core::Rng rng(43);
+    reid::FeatureVector f(kDim, 0.5);
+    for (std::size_t i = 0; i < entries; ++i) {
+      std::uint64_t id = i * 2654435761u + 97;
+      ids.push_back(id);
+      map.emplace(id, f);
+      index.Insert(id, store.Append(f));
+    }
+    // Probe in an order decorrelated from insertion.
+    for (std::size_t i = ids.size() - 1; i > 0; --i) {
+      std::swap(ids[i], ids[static_cast<std::size_t>(
+                            rng.UniformInt(0, static_cast<int>(i)))]);
+    }
+  }
+
+  std::unordered_map<std::uint64_t, reid::FeatureVector> map;
+  reid::FeatureStore store;
+  reid::DetectionIndex index;
+  std::vector<std::uint64_t> ids;
+};
+
+std::size_t MapLookups(const LookupFixture& f) {
+  std::size_t acc = 0;
+  for (std::uint64_t id : f.ids) acc += f.map.find(id)->second.size();
+  return acc;
+}
+
+std::size_t IndexLookups(const LookupFixture& f) {
+  std::size_t acc = 0;
+  for (std::uint64_t id : f.ids) acc += f.index.Find(id).index;
+  return acc;
+}
+
+void BM_SquaredDistanceScalar(benchmark::State& state) {
+  core::Rng rng(6);
+  reid::FeatureVector a(kDim), b(kDim);
+  for (auto& v : a) v = rng.Normal(0, 1);
+  for (auto& v : b) v = rng.Normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reid::kernels::ScalarSquaredDistance(a.data(), b.data(), kDim));
+  }
+}
+BENCHMARK(BM_SquaredDistanceScalar);
+
+void BM_SquaredDistanceUnrolled(benchmark::State& state) {
+  ScopedKernelMode mode(/*scalar=*/false);
+  core::Rng rng(6);
+  reid::FeatureVector a(kDim), b(kDim);
+  for (auto& v : a) v = rng.Normal(0, 1);
+  for (auto& v : b) v = rng.Normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reid::kernels::SquaredDistance(a.data(), b.data(), kDim));
+  }
+}
+BENCHMARK(BM_SquaredDistanceUnrolled);
+
+void BM_PairGridMapScalar(benchmark::State& state) {
+  PairFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeedPair(f));
+  }
+  state.SetItemsProcessed(state.iterations() * kBoxes * kBoxes);
+}
+BENCHMARK(BM_PairGridMapScalar);
+
+void BM_PairGridSlabVectorized(benchmark::State& state) {
+  ScopedKernelMode mode(/*scalar=*/false);
+  PairFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlabPair(f));
+  }
+  state.SetItemsProcessed(state.iterations() * kBoxes * kBoxes);
+}
+BENCHMARK(BM_PairGridSlabVectorized);
+
+void BM_PairGridSlabSquared(benchmark::State& state) {
+  ScopedKernelMode mode(/*scalar=*/false);
+  PairFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlabSquaredPair(f));
+  }
+  state.SetItemsProcessed(state.iterations() * kBoxes * kBoxes);
+}
+BENCHMARK(BM_PairGridSlabSquared);
+
+void BM_CacheLookupMap(benchmark::State& state) {
+  LookupFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapLookups(f));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CacheLookupMap)->Arg(1024)->Arg(16384);
+
+void BM_CacheLookupSlabIndex(benchmark::State& state) {
+  LookupFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndexLookups(f));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CacheLookupSlabIndex)->Arg(1024)->Arg(16384);
+
+// --- Deterministic BENCH_JSON harness ----------------------------------
+
+/// Nanoseconds per op over a fixed iteration count (steady_clock is fine
+/// here: bench/ is outside the determinism lint's steady_clock ban, and
+/// wall-clock is the measurand).
+template <typename Op>
+double NsPerOp(Op&& op, std::int64_t iters) {
+  for (int i = 0; i < 100; ++i) op();  // Warmup.
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) op();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(iters);
+}
+
+/// The CI perf-smoke entry point: times the seed vs slab comparison
+/// pairs and emits one BENCH_JSON line per comparison. Sides alternate
+/// in short rounds and each keeps its minimum: alternation cancels the
+/// slow drift of a busy or thermally throttling host (measuring one side
+/// entirely before the other would hand whichever goes first a
+/// systematic advantage), and the minimum is the standard noise-robust
+/// estimator for a deterministic op.
+void RunJsonBenches() {
+  ScopedKernelMode mode(/*scalar=*/false);
+  constexpr int kRounds = 7;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  PairFixture f;
+  // Same elements in the same accumulation order: the two paths must
+  // agree to the last bit, or the comparison is timing different math.
+  TMERGE_CHECK(SeedPair(f) == SlabPair(f));
+  double seed_ns = kInf, slab_ns = kInf, squared_ns = kInf;
+  for (int r = 0; r < kRounds; ++r) {
+    seed_ns = std::min(
+        seed_ns, NsPerOp([&] { benchmark::DoNotOptimize(SeedPair(f)); }, 3000));
+    slab_ns = std::min(
+        slab_ns, NsPerOp([&] { benchmark::DoNotOptimize(SlabPair(f)); }, 3000));
+    squared_ns = std::min(
+        squared_ns,
+        NsPerOp([&] { benchmark::DoNotOptimize(SlabSquaredPair(f)); }, 3000));
+  }
+  bench::EmitBenchJson(
+      "micro_one_vs_many",
+      {{"boxes", static_cast<double>(kBoxes)},
+       {"dim", static_cast<double>(kDim)},
+       {"box_pairs", static_cast<double>(kBoxes * kBoxes)},
+       {"map_scalar_ns", seed_ns},
+       {"slab_vectorized_ns", slab_ns},
+       {"slab_squared_ns", squared_ns},
+       {"speedup", seed_ns / slab_ns},
+       {"ranking_speedup", seed_ns / squared_ns}});
+
+  constexpr std::size_t kEntries = 4096;
+  LookupFixture l(kEntries);
+  TMERGE_CHECK(IndexLookups(l) > 0);
+  double map_lookup_ns = kInf, index_lookup_ns = kInf;
+  for (int r = 0; r < kRounds; ++r) {
+    map_lookup_ns = std::min(
+        map_lookup_ns,
+        NsPerOp([&] { benchmark::DoNotOptimize(MapLookups(l)); }, 300));
+    index_lookup_ns = std::min(
+        index_lookup_ns,
+        NsPerOp([&] { benchmark::DoNotOptimize(IndexLookups(l)); }, 300));
+  }
+  bench::EmitBenchJson("micro_cache_lookup",
+                       {{"entries", static_cast<double>(kEntries)},
+                        {"map_ns", map_lookup_ns},
+                        {"index_ns", index_lookup_ns},
+                        {"speedup", map_lookup_ns / index_lookup_ns}});
+}
+
 }  // namespace
 }  // namespace tmerge
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      tmerge::RunJsonBenches();
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tmerge::RunJsonBenches();
+  return 0;
+}

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "tmerge/core/thread_pool.h"
 #include "tmerge/fault/registry.h"
@@ -128,6 +130,19 @@ void EmitObsSnapshot(const std::string& bench_name) {
   obs::RegistrySnapshot snapshot = obs::DefaultRegistry().Snapshot();
   std::cout << "OBS_JSON {\"bench\":\"" << bench_name << "\",\"metrics\":"
             << obs::SnapshotToJson(snapshot) << "}\n";
+}
+
+void EmitBenchJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::ostringstream out;
+  out << "BENCH_JSON {\"bench\":\"" << bench_name << "\"";
+  out << std::setprecision(10);
+  for (const auto& [key, value] : fields) {
+    out << ",\"" << key << "\":" << value;
+  }
+  out << "}";
+  std::cout << out.str() << "\n";
 }
 
 BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,

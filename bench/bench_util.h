@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tmerge/merge/pipeline.h"
@@ -63,6 +64,15 @@ void InitFaultFromEnv();
 /// BENCH_JSON numbers. No-op (with a notice) when instrumentation is
 /// runtime-disabled.
 void EmitObsSnapshot(const std::string& bench_name);
+
+/// Prints one machine-readable "BENCH_JSON {...}" line: the bench name
+/// followed by numeric fields, in the given order. Integral values print
+/// without a decimal point. The CI perf-smoke job parses these lines and
+/// compares them against the committed bench/BENCH_tier1.json baseline
+/// (tools/bench_regress.py).
+void EmitBenchJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& fields);
 
 /// Prepares a profile's benchmark environment: generates `num_videos`
 /// videos, runs detection + tracking, builds windows and ground truth

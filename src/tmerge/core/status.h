@@ -111,4 +111,19 @@ namespace internal {
     }                                                                 \
   } while (false)
 
+/// Debug-only variant of TMERGE_CHECK for hot-loop invariants whose cost
+/// would be measurable in optimized builds (e.g. the per-call dimension
+/// check inside the distance kernels — dimensions are validated once at
+/// FeatureStore registration instead). Active when NDEBUG is not defined;
+/// compiled to a no-op (the condition still type-checks but is never
+/// evaluated) otherwise. TMERGE_DCHECK_ENABLED lets tests know which mode
+/// they run under.
+#ifndef NDEBUG
+#define TMERGE_DCHECK_ENABLED 1
+#define TMERGE_DCHECK(expr) TMERGE_CHECK(expr)
+#else
+#define TMERGE_DCHECK_ENABLED 0
+#define TMERGE_DCHECK(expr) ((void)(false && (expr)))
+#endif
+
 #endif  // TMERGE_CORE_STATUS_H_

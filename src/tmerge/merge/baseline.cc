@@ -1,8 +1,11 @@
 #include "tmerge/merge/baseline.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "tmerge/core/sim_clock.h"
+#include "tmerge/reid/distance_kernels.h"
 
 namespace tmerge::merge {
 
@@ -17,25 +20,34 @@ SelectionResult BaselineSelector::Select(const PairContext& context,
   SelectionResult result;
   last_scores_.assign(context.num_pairs(), 0.0);
 
-  // Embed every involved crop. Batched mode groups `batch_size` track
-  // pairs per GPU call (the paper's B = track pairs jointly evaluated).
-  auto embed_track = [&](const std::vector<track::TrackedBox>& boxes,
-                         std::vector<const reid::FeatureVector*>& out) {
+  // Embed every involved crop, gathering raw arena pointers for the
+  // one-vs-many kernel. Batched mode groups `batch_size` track pairs per
+  // GPU call (the paper's B = track pairs jointly evaluated).
+  auto embed_track = [&](const std::vector<reid::CropRef>& crops,
+                         std::vector<const double*>& out) {
     out.clear();
-    out.reserve(boxes.size());
-    for (const auto& box : boxes) {
-      out.push_back(&cache.GetOrEmbed(MakeCropRef(box), model, meter));
+    out.reserve(crops.size());
+    for (const auto& crop : crops) {
+      out.push_back(cache.GetOrEmbed(crop, model, meter).data);
     }
   };
   auto embed_tracks_batched = [&](std::size_t first_pair,
                                   std::size_t last_pair) {
     std::vector<reid::CropRef> crops;
     for (std::size_t p = first_pair; p < last_pair; ++p) {
-      for (const auto& box : context.BoxesA(p)) crops.push_back(MakeCropRef(box));
-      for (const auto& box : context.BoxesB(p)) crops.push_back(MakeCropRef(box));
+      const auto& crops_a = context.CropsA(p);
+      const auto& crops_b = context.CropsB(p);
+      crops.insert(crops.end(), crops_a.begin(), crops_a.end());
+      crops.insert(crops.end(), crops_b.begin(), crops_b.end());
     }
     cache.GetOrEmbedBatch(crops, model, meter);
   };
+
+  // Scratch reused across pairs: feature pointers per track and one row of
+  // squared distances per fa.
+  std::vector<const double*> features_a, features_b;
+  std::vector<double> row;
+  const std::size_t dim = model.feature_dim();
 
   std::size_t chunk = batched ? static_cast<std::size_t>(options.batch_size)
                               : context.num_pairs();
@@ -45,17 +57,27 @@ SelectionResult BaselineSelector::Select(const PairContext& context,
     if (batched) embed_tracks_batched(begin, end);
 
     for (std::size_t p = begin; p < end; ++p) {
-      std::vector<const reid::FeatureVector*> features_a, features_b;
-      embed_track(context.BoxesA(p), features_a);
-      embed_track(context.BoxesB(p), features_b);
+      embed_track(context.CropsA(p), features_a);
+      embed_track(context.CropsB(p), features_b);
+      row.resize(features_b.size());
 
+      // One kernel sweep per fa, the batched normalize epilogue in place,
+      // then a scalar sum in the same fa-outer / fb-inner order as
+      // pairwise NormalizedDistance — bit-identical by construction
+      // (reid/distance_kernels.h).
       double sum = 0.0;
       std::int64_t count = 0;
-      for (const auto* fa : features_a) {
-        for (const auto* fb : features_b) {
-          sum += model.NormalizedDistance(*fa, *fb);
-          ++count;
+      const double scale = model.normalization_scale();
+      for (const double* fa : features_a) {
+        reid::kernels::OneVsManySquared(fa, features_b.data(),
+                                        features_b.size(), dim, row.data());
+        reid::kernels::NormalizedFromSquaredMany(row.data(),
+                                                 features_b.size(), scale,
+                                                 row.data());
+        for (std::size_t j = 0; j < features_b.size(); ++j) {
+          sum += row[j];
         }
+        count += static_cast<std::int64_t>(features_b.size());
       }
       if (batched) {
         meter.ChargeDistanceBatched(count);

@@ -42,21 +42,21 @@ SelectionResult LcbSelector::Select(const PairContext& context,
 
   auto evaluate_pair = [&](std::size_t p) {
     auto [row, col] = samplers[p].Sample(rng);
-    reid::CropRef crop_a = MakeCropRef(context.BoxesA(p)[row]);
-    reid::CropRef crop_b = MakeCropRef(context.BoxesB(p)[col]);
+    reid::CropRef crop_a = context.CropsA(p)[row];
+    reid::CropRef crop_b = context.CropsB(p)[col];
     if (batched) {
       guard.TryGetBatch({crop_a, crop_b});
     }
-    const reid::FeatureVector* fa = guard.TryGet(crop_a);
-    const reid::FeatureVector* fb =
-        fa == nullptr ? nullptr : guard.TryGet(crop_b);
-    if (fa == nullptr || fb == nullptr) {
+    reid::FeatureView fa = guard.TryGet(crop_a);
+    reid::FeatureView fb =
+        fa.valid() ? guard.TryGet(crop_b) : reid::FeatureView();
+    if (!fa.valid() || !fb.valid()) {
       // Failed pull: tau and the sampler cell are spent, cost is charged,
       // but the running mean sees nothing (errors are not evidence).
       ++result.failed_pulls;
       return;
     }
-    double distance = model.NormalizedDistance(*fa, *fb);
+    double distance = model.NormalizedDistance(fa, fb);
     if (batched) {
       meter.ChargeDistanceBatched(1);
     } else {

@@ -26,6 +26,29 @@ PairContext::PairContext(const track::TrackingResult& result,
     TMERGE_CHECK(ita != index_of.end() && itb != index_of.end());
     track_indices_.emplace_back(ita->second, itb->second);
   }
+  // Materialize each paired track's CropRefs once; a track in k pairs is
+  // converted once, not k times, and the selectors' inner loops index a
+  // flat vector instead of rebuilding CropRefs per probe.
+  track_crops_.resize(result.tracks.size());
+  for (const auto& [ia, ib] : track_indices_) {
+    for (std::size_t t : {ia, ib}) {
+      if (!track_crops_[t].empty() || result.tracks[t].boxes.empty()) continue;
+      track_crops_[t].reserve(result.tracks[t].boxes.size());
+      for (const auto& box : result.tracks[t].boxes) {
+        track_crops_[t].push_back(MakeCropRef(box));
+      }
+    }
+  }
+}
+
+const std::vector<reid::CropRef>& PairContext::CropsA(std::size_t index) const {
+  TMERGE_CHECK(index < track_indices_.size());
+  return track_crops_[track_indices_[index].first];
+}
+
+const std::vector<reid::CropRef>& PairContext::CropsB(std::size_t index) const {
+  TMERGE_CHECK(index < track_indices_.size());
+  return track_crops_[track_indices_[index].second];
 }
 
 const track::Track& PairContext::TrackA(std::size_t index) const {

@@ -63,6 +63,13 @@ class PairContext {
     return TrackB(index).boxes;
   }
 
+  /// The CropRefs of the two tracks of pair `index`, precomputed at
+  /// construction (CropsA(i)[r] == MakeCropRef(BoxesA(i)[r])). Selectors
+  /// sweep these instead of re-materializing a CropRef per probe in their
+  /// inner loops; tracks shared by several pairs share one vector.
+  const std::vector<reid::CropRef>& CropsA(std::size_t index) const;
+  const std::vector<reid::CropRef>& CropsB(std::size_t index) const;
+
   /// Sum of BoxPairCount over all pairs (the brute-force workload size).
   std::int64_t TotalBoxPairs() const;
 
@@ -73,6 +80,9 @@ class PairContext {
   std::vector<metrics::TrackPairKey> pairs_;
   /// Pair index -> (index of track a, index of track b) in result->tracks.
   std::vector<std::pair<std::size_t, std::size_t>> track_indices_;
+  /// Track index -> that track's boxes as CropRefs (parallel to
+  /// result->tracks).
+  std::vector<std::vector<reid::CropRef>> track_crops_;
 };
 
 /// Tracks which BBox pairs of one track pair have been sampled, supporting

@@ -51,24 +51,22 @@ SelectionResult ProportionalSelector::Select(
     if (batched) {
       std::vector<reid::CropRef> crops;
       for (std::size_t p = begin; p < end; ++p) {
-        const auto& boxes_a = context.BoxesA(p);
-        const auto& boxes_b = context.BoxesB(p);
+        const auto& crops_a = context.CropsA(p);
+        const auto& crops_b = context.CropsB(p);
         for (const auto& [row, col] : samples[p].cells) {
-          crops.push_back(MakeCropRef(boxes_a[row]));
-          crops.push_back(MakeCropRef(boxes_b[col]));
+          crops.push_back(crops_a[row]);
+          crops.push_back(crops_b[col]);
         }
       }
       cache.GetOrEmbedBatch(crops, model, meter);
     }
     for (std::size_t p = begin; p < end; ++p) {
-      const auto& boxes_a = context.BoxesA(p);
-      const auto& boxes_b = context.BoxesB(p);
+      const auto& crops_a = context.CropsA(p);
+      const auto& crops_b = context.CropsB(p);
       double sum = 0.0;
       for (const auto& [row, col] : samples[p].cells) {
-        const auto& fa =
-            cache.GetOrEmbed(MakeCropRef(boxes_a[row]), model, meter);
-        const auto& fb =
-            cache.GetOrEmbed(MakeCropRef(boxes_b[col]), model, meter);
+        reid::FeatureView fa = cache.GetOrEmbed(crops_a[row], model, meter);
+        reid::FeatureView fb = cache.GetOrEmbed(crops_b[col], model, meter);
         sum += model.NormalizedDistance(fa, fb);
       }
       auto count = static_cast<std::int64_t>(samples[p].cells.size());

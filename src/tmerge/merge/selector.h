@@ -99,7 +99,10 @@ class CandidateSelector {
 namespace internal {
 
 /// Ranks pairs ascending by score and returns the top-k pair keys, breaking
-/// ties by pair index for determinism.
+/// ties by pair index for determinism. Uses partial selection
+/// (nth_element + prefix sort) when k < n; because the (score, index)
+/// comparator is a strict total order, the output is element-for-element
+/// identical to a full sort (pinned by SelectorTest.TopKMatchesFullSort).
 std::vector<metrics::TrackPairKey> TopKByScore(
     const PairContext& context, const std::vector<double>& scores,
     std::size_t k);

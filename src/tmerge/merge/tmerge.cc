@@ -169,8 +169,8 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
                           std::vector<reid::CropRef>* batch_crops)
       -> std::pair<reid::CropRef, reid::CropRef> {
     auto [row, col] = samplers[p].Sample(rng);
-    reid::CropRef crop_a = MakeCropRef(context.BoxesA(p)[row]);
-    reid::CropRef crop_b = MakeCropRef(context.BoxesB(p)[col]);
+    reid::CropRef crop_a = context.CropsA(p)[row];
+    reid::CropRef crop_b = context.CropsB(p)[col];
     if (batch_crops != nullptr) {
       batch_crops->push_back(crop_a);
       batch_crops->push_back(crop_b);
@@ -180,10 +180,10 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
 
   auto finish_evaluation = [&](std::size_t p, const reid::CropRef& crop_a,
                                const reid::CropRef& crop_b) {
-    const reid::FeatureVector* fa = guard.TryGet(crop_a);
-    const reid::FeatureVector* fb =
-        fa == nullptr ? nullptr : guard.TryGet(crop_b);
-    if (fa == nullptr || fb == nullptr) {
+    reid::FeatureView fa = guard.TryGet(crop_a);
+    reid::FeatureView fb =
+        fa.valid() ? guard.TryGet(crop_b) : reid::FeatureView();
+    if (!fa.valid() || !fb.valid()) {
       // Failed pull (degraded mode): the sampler cell and tau budget are
       // already spent and the failed inference was charged, but the
       // posterior is NOT updated and no Bernoulli draw is consumed — an
@@ -197,7 +197,7 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
       }
       return;
     }
-    double distance = model.NormalizedDistance(*fa, *fb);
+    double distance = model.NormalizedDistance(fa, fb);
     if (batched) {
       meter.ChargeDistanceBatched(1);
     } else {

@@ -1,19 +1,13 @@
 #include "tmerge/reid/feature.h"
 
-#include <cmath>
-
 #include "tmerge/core/status.h"
+#include "tmerge/reid/distance_kernels.h"
 
 namespace tmerge::reid {
 
 double FeatureDistance(const FeatureVector& a, const FeatureVector& b) {
-  TMERGE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  TMERGE_DCHECK(a.size() == b.size());
+  return kernels::Distance(a.data(), b.data(), a.size());
 }
 
 }  // namespace tmerge::reid

@@ -1,6 +1,7 @@
 #ifndef TMERGE_REID_FEATURE_H_
 #define TMERGE_REID_FEATURE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -11,7 +12,35 @@ namespace tmerge::reid {
 /// A ReID feature vector f(b) extracted from a BBox crop (paper §III).
 using FeatureVector = std::vector<double>;
 
+/// Non-owning view of one feature's contiguous storage. The selector hot
+/// path passes these by value (two words) instead of heap-allocated
+/// FeatureVector references; an invalid (default) view doubles as the
+/// "failed pull" sentinel that `const FeatureVector*` == nullptr used to
+/// be. Views into a FeatureStore stay valid until the store is cleared or
+/// destroyed (the handle-stability contract documented on FeatureCache).
+struct FeatureView {
+  const double* data = nullptr;
+  std::size_t dim = 0;
+
+  constexpr FeatureView() = default;
+  constexpr FeatureView(const double* d, std::size_t n) : data(d), dim(n) {}
+  /// Views a FeatureVector's storage. Explicit: a view of a temporary
+  /// vector dangles, so conversions must be visible at the call site.
+  explicit FeatureView(const FeatureVector& v)
+      : data(v.data()), dim(v.size()) {}
+
+  bool valid() const { return data != nullptr; }
+  double operator[](std::size_t i) const { return data[i]; }
+
+  /// Copies the viewed floats into an owning vector (test/IO convenience;
+  /// not for hot paths).
+  FeatureVector ToVector() const { return FeatureVector(data, data + dim); }
+};
+
 /// Euclidean distance d(b1, b2) between two feature vectors of equal size.
+/// Dimension agreement is a debug-only check here (TMERGE_DCHECK): features
+/// flowing through a FeatureStore had their dimension validated once at
+/// registration, so optimized builds skip the per-call branch.
 double FeatureDistance(const FeatureVector& a, const FeatureVector& b);
 
 /// Reference to one BBox crop to embed. Carries exactly the hidden fields

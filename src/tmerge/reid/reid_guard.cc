@@ -40,15 +40,14 @@ void ReidGuard::RecordOutcome(bool success) {
   }
 }
 
-const FeatureVector* ReidGuard::TryGet(const CropRef& crop) {
+FeatureView ReidGuard::TryGet(const CropRef& crop) {
   if (breaker_open_) {
     ++failed_pulls_;
-    return nullptr;
+    return FeatureView();
   }
   for (int attempt = 0;; ++attempt) {
-    core::Result<const FeatureVector*> result =
-        cache_.TryGetOrEmbed(crop, model_, meter_,
-                             static_cast<std::uint64_t>(attempt));
+    core::Result<FeatureView> result = cache_.TryGetOrEmbed(
+        crop, model_, meter_, static_cast<std::uint64_t>(attempt));
     if (result.ok()) {
       RecordOutcome(true);
       return result.value();
@@ -60,22 +59,22 @@ const FeatureVector* ReidGuard::TryGet(const CropRef& crop) {
     CountRetries(1);
   }
   RecordOutcome(false);
-  return nullptr;
+  return FeatureView();
 }
 
-std::vector<const FeatureVector*> ReidGuard::TryGetBatch(
+std::vector<FeatureView> ReidGuard::TryGetBatch(
     const std::vector<CropRef>& crops) {
   if (breaker_open_) {
     failed_pulls_ += static_cast<std::int64_t>(crops.size());
-    return std::vector<const FeatureVector*>(crops.size(), nullptr);
+    return std::vector<FeatureView>(crops.size());
   }
-  std::vector<const FeatureVector*> out =
+  std::vector<FeatureView> out =
       cache_.TryGetOrEmbedBatch(crops, model_, meter_, 0);
   for (int attempt = 1; attempt <= policy_.max_retries; ++attempt) {
     std::vector<std::size_t> failed;
     std::vector<CropRef> retry;
     for (std::size_t i = 0; i < out.size(); ++i) {
-      if (out[i] == nullptr) {
+      if (!out[i].valid()) {
         failed.push_back(i);
         retry.push_back(crops[i]);
       }
@@ -87,7 +86,7 @@ std::vector<const FeatureVector*> ReidGuard::TryGetBatch(
                                              << (attempt - 1)));
     retries_ += static_cast<std::int64_t>(retry.size());
     CountRetries(static_cast<std::int64_t>(retry.size()));
-    std::vector<const FeatureVector*> retried = cache_.TryGetOrEmbedBatch(
+    std::vector<FeatureView> retried = cache_.TryGetOrEmbedBatch(
         retry, model_, meter_, static_cast<std::uint64_t>(attempt));
     for (std::size_t j = 0; j < failed.size(); ++j) {
       out[failed[j]] = retried[j];
@@ -95,8 +94,8 @@ std::vector<const FeatureVector*> ReidGuard::TryGetBatch(
   }
   // Outcomes are recorded in crop order so breaker behaviour is identical
   // to issuing the pulls one by one.
-  for (const FeatureVector* feature : out) {
-    RecordOutcome(feature != nullptr);
+  for (FeatureView feature : out) {
+    RecordOutcome(feature.valid());
   }
   return out;
 }

@@ -34,9 +34,10 @@ struct ReidFaultPolicy {
 
 /// Per-window fault-tolerance wrapper over FeatureCache: bounded retry
 /// with deterministic sim-clock backoff plus a circuit breaker. Selectors
-/// pull features through a guard instead of the cache directly; a nullptr
-/// return is a *failed pull* — the selector charges it to the budget but
-/// must not update posteriors from it (the degraded mode's safety rule).
+/// pull features through a guard instead of the cache directly; an invalid
+/// view return is a *failed pull* — the selector charges it to the budget
+/// but must not update posteriors from it (the degraded mode's safety
+/// rule).
 ///
 /// With no failpoints armed (or under -DTMERGE_FAULT_DISABLED) every pull
 /// succeeds on the first attempt and the meter sees exactly the charges
@@ -50,22 +51,21 @@ class ReidGuard {
             const ReidModel& model, InferenceMeter& meter)
       : policy_(policy), cache_(cache), model_(model), meter_(meter) {}
 
-  /// Pulls one feature, retrying per policy. Returns nullptr when every
-  /// attempt failed or the breaker is open (an open breaker charges
+  /// Pulls one feature, retrying per policy. Returns an invalid view when
+  /// every attempt failed or the breaker is open (an open breaker charges
   /// nothing — the call never reaches the model).
-  const FeatureVector* TryGet(const CropRef& crop);
+  FeatureView TryGet(const CropRef& crop);
 
-  /// Batched pull: one result per crop, nullptr entries for failed pulls.
+  /// Batched pull: one result per crop, invalid views for failed pulls.
   /// Retry rounds re-batch only the failed crops under a fresh salt.
-  std::vector<const FeatureVector*> TryGetBatch(
-      const std::vector<CropRef>& crops);
+  std::vector<FeatureView> TryGetBatch(const std::vector<CropRef>& crops);
 
   /// True once the breaker has opened; the window is degraded from that
   /// point on.
   bool breaker_open() const { return breaker_open_; }
 
   /// Pulls that exhausted retries (or hit an open breaker) and returned
-  /// nullptr.
+  /// an invalid view.
   std::int64_t failed_pulls() const { return failed_pulls_; }
 
   /// Retry attempts made (not counting first attempts).

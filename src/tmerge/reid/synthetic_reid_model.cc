@@ -5,6 +5,7 @@
 
 #include "tmerge/core/rng.h"
 #include "tmerge/core/status.h"
+#include "tmerge/reid/distance_kernels.h"
 
 namespace tmerge::reid {
 
@@ -22,16 +23,25 @@ SyntheticReidModel::SyntheticReidModel(const sim::SyntheticVideo& video,
   // noise margin, so that normalized distances rarely clip at 1 but the
   // full [0, 1] range is used. Falls back to a noise-only scale for videos
   // with fewer than two objects.
-  double max_latent = 0.0;
+  // Squared-distance fast path: a max-reduction commutes with the (monotone,
+  // correctly-rounded) sqrt, so taking the max of squared distances and one
+  // final sqrt is bit-identical to maxing sim::EuclideanDistance per pair —
+  // and skips O(n^2) sqrts. This is the ranking-safe use of
+  // kernels::SquaredDistance; mean-of-distance scores are not (DESIGN.md
+  // "Memory layout & kernels").
+  double max_latent_sq = 0.0;
   std::vector<const sim::AppearanceVector*> latents;
   latents.reserve(appearances_.size());
   for (const auto& [id, vec] : appearances_) latents.push_back(&vec);
   for (std::size_t i = 0; i < latents.size(); ++i) {
     for (std::size_t j = i + 1; j < latents.size(); ++j) {
-      max_latent = std::max(
-          max_latent, sim::EuclideanDistance(*latents[i], *latents[j]));
+      max_latent_sq = std::max(
+          max_latent_sq,
+          kernels::SquaredDistance(latents[i]->data(), latents[j]->data(),
+                                   latents[i]->size()));
     }
   }
+  double max_latent = std::sqrt(max_latent_sq);
   double expected_noise =
       config_.observation_noise +
       config_.hard_crop_prob * config_.hard_crop_noise;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "testing/test_util.h"
+#include "tmerge/core/rng.h"
 
 namespace tmerge::merge {
 namespace {
@@ -62,6 +66,47 @@ TEST_F(TopKByScoreTest, KLargerThanUniverseClamped) {
 TEST_F(TopKByScoreTest, ZeroKEmpty) {
   std::vector<double> scores{0.1, 0.2, 0.3};
   EXPECT_TRUE(internal::TopKByScore(context_, scores, 0).empty());
+}
+
+// Pins the partial-selection implementation (nth_element + prefix sort) to
+// the full-sort definition element for element, across every k and with
+// heavy score ties — the case where an unstable partial selection would
+// diverge if the comparator were not a strict total order.
+TEST(TopKByScorePinningTest, TopKMatchesFullSort) {
+  constexpr std::size_t kTracks = 40;
+  std::vector<track::Track> tracks;
+  tracks.reserve(kTracks);
+  for (std::size_t t = 0; t < kTracks; ++t) {
+    tracks.push_back(testing::MakeTrack(static_cast<track::TrackId>(t + 1),
+                                        static_cast<std::int32_t>(10 * t), 3,
+                                        0));
+  }
+  track::TrackingResult result = testing::MakeResult(std::move(tracks));
+  std::vector<metrics::TrackPairKey> pairs;
+  for (std::size_t t = 1; t < kTracks; ++t) {
+    pairs.push_back(metrics::MakePairKey(1, static_cast<track::TrackId>(t + 1)));
+  }
+  PairContext context(result, pairs);
+
+  // Few distinct values => many ties; the index tie-break does the work.
+  core::Rng rng(1234);
+  std::vector<double> scores(context.num_pairs());
+  for (double& s : scores) s = 0.1 * static_cast<double>(rng.UniformInt(0, 4));
+
+  for (std::size_t k = 0; k <= context.num_pairs() + 1; ++k) {
+    // The full-sort definition, computed independently of TopKByScore.
+    std::vector<std::size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (scores[a] != scores[b]) return scores[a] < scores[b];
+      return a < b;
+    });
+    std::vector<metrics::TrackPairKey> expected;
+    for (std::size_t i = 0; i < std::min(k, order.size()); ++i) {
+      expected.push_back(context.pair(order[i]));
+    }
+    EXPECT_EQ(internal::TopKByScore(context, scores, k), expected) << k;
+  }
 }
 
 }  // namespace

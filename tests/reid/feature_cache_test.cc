@@ -49,10 +49,11 @@ TEST_F(FeatureCacheTest, MissChargesHitDoesNot) {
 TEST_F(FeatureCacheTest, ReturnsSameFeature) {
   FeatureCache cache;
   InferenceMeter meter(cost_);
-  const FeatureVector& a = cache.GetOrEmbed(Crop(5), *model_, meter);
-  FeatureVector copy = a;
-  const FeatureVector& b = cache.GetOrEmbed(Crop(5), *model_, meter);
-  EXPECT_EQ(copy, b);
+  FeatureView a = cache.GetOrEmbed(Crop(5), *model_, meter);
+  FeatureVector copy = a.ToVector();
+  FeatureView b = cache.GetOrEmbed(Crop(5), *model_, meter);
+  EXPECT_EQ(copy, b.ToVector());
+  EXPECT_EQ(a.data, b.data);  // Same arena slot, not just equal floats.
 }
 
 TEST_F(FeatureCacheTest, ContainsAndSize) {
@@ -64,6 +65,16 @@ TEST_F(FeatureCacheTest, ContainsAndSize) {
   EXPECT_EQ(cache.size(), 1u);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(FeatureCacheTest, FindResolvesThroughView) {
+  FeatureCache cache;
+  InferenceMeter meter(cost_);
+  EXPECT_FALSE(cache.Find(7).valid());
+  FeatureView embedded = cache.GetOrEmbed(Crop(7), *model_, meter);
+  FeatureRef ref = cache.Find(7);
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(cache.View(ref).data, embedded.data);
 }
 
 TEST_F(FeatureCacheTest, BatchChargesOnlyMisses) {
@@ -93,8 +104,8 @@ TEST_F(FeatureCacheTest, BatchReturnsInRequestOrder) {
   FeatureCache cache;
   InferenceMeter meter(cost_);
   auto features = cache.GetOrEmbedBatch({Crop(9), Crop(8)}, *model_, meter);
-  EXPECT_EQ(*features[0], model_->Embed(Crop(9)));
-  EXPECT_EQ(*features[1], model_->Embed(Crop(8)));
+  EXPECT_EQ(features[0].ToVector(), model_->Embed(Crop(9)));
+  EXPECT_EQ(features[1].ToVector(), model_->Embed(Crop(8)));
 }
 
 TEST_F(FeatureCacheTest, DuplicateCropsInOneBatchChargedOnce) {
@@ -105,38 +116,100 @@ TEST_F(FeatureCacheTest, DuplicateCropsInOneBatchChargedOnce) {
 }
 
 // Regression guard for the storage contract documented on FeatureCache:
-// pointers handed out by GetOrEmbed / GetOrEmbedBatch must survive later
-// inserts, including the rehashes a large batch triggers mid-call.
-// std::unordered_map guarantees reference stability across rehash, so this
-// only fails if the backing container is ever swapped for one without that
-// guarantee (e.g. a flat/open-addressing map).
-TEST_F(FeatureCacheTest, PointersStableAcrossRehashMidBatch) {
+// FeatureRef handles, and the data pointers of the views they resolve to,
+// must survive later inserts — including the index rehashes a large batch
+// triggers mid-call. The slab arena guarantees this by never moving a slab
+// once allocated; this test fails if storage is ever swapped for a scheme
+// that relocates features on growth (e.g. one std::vector of floats).
+TEST_F(FeatureCacheTest, HandlesStableAcrossGrowthMidBatch) {
   FeatureCache cache;
   InferenceMeter meter(cost_);
 
-  // Pin a feature before the batch, then force many rehashes: load factor
-  // 1.0 with thousands of interleaved inserts in a single batch call.
-  const FeatureVector& pinned = cache.GetOrEmbed(Crop(0), *model_, meter);
-  FeatureVector pinned_copy = pinned;
+  // Pin a feature before the batch, then force many growth steps:
+  // thousands of interleaved inserts in a single batch call — several
+  // index rehashes and slab appends from empty.
+  FeatureView pinned = cache.GetOrEmbed(Crop(0), *model_, meter);
+  FeatureRef pinned_ref = cache.Find(0);
+  ASSERT_TRUE(pinned_ref.valid());
+  const double* pinned_data = pinned.data;
+  FeatureVector pinned_copy = pinned.ToVector();
 
   constexpr std::uint64_t kBatch = 5000;
   std::vector<CropRef> crops;
   crops.reserve(kBatch + 1);
-  crops.push_back(Crop(0));  // Cached: returned pointer predates the batch.
+  crops.push_back(Crop(0));  // Cached: its view predates the batch.
   for (std::uint64_t id = 1; id <= kBatch; ++id) crops.push_back(Crop(id));
 
-  std::vector<const FeatureVector*> features =
+  std::vector<FeatureView> features =
       cache.GetOrEmbedBatch(crops, *model_, meter);
   ASSERT_EQ(features.size(), crops.size());
-  ASSERT_GT(cache.size(), 1000u);  // Rehashed several times from empty.
+  ASSERT_GT(cache.size(), 1000u);  // Rehashed/grew several times from empty.
 
-  // The pre-batch pointer still dereferences to the same value...
-  EXPECT_EQ(pinned, pinned_copy);
+  // The pre-batch handle still resolves to the same storage and floats...
+  EXPECT_EQ(cache.View(pinned_ref).data, pinned_data);
+  EXPECT_EQ(cache.View(pinned_ref).ToVector(), pinned_copy);
+  EXPECT_EQ(pinned.ToVector(), pinned_copy);
   // ...and every batch result matches a fresh embedding of its crop, in
   // request order, after all inserts of the same call.
-  EXPECT_EQ(*features[0], pinned_copy);
+  EXPECT_EQ(features[0].data, pinned_data);
   for (std::size_t i : {std::size_t{1}, std::size_t{17}, crops.size() - 1}) {
-    EXPECT_EQ(*features[i], model_->Embed(crops[i])) << i;
+    EXPECT_EQ(features[i].ToVector(), model_->Embed(crops[i])) << i;
+  }
+}
+
+TEST(DetectionIndexTest, FindInsertErase) {
+  DetectionIndex index;
+  EXPECT_FALSE(index.Find(42).valid());
+  index.Insert(42, FeatureRef{7});
+  ASSERT_TRUE(index.Find(42).valid());
+  EXPECT_EQ(index.Find(42).index, 7u);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.Erase(42));
+  EXPECT_FALSE(index.Find(42).valid());
+  EXPECT_FALSE(index.Erase(42));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+// Sequential keys are the realistic workload (detection ids increase along
+// the video) and the adversarial one for linear probing without a mixer.
+TEST(DetectionIndexTest, SequentialKeysSurviveManyRehashes) {
+  DetectionIndex index;
+  constexpr std::uint64_t kKeys = 10000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    index.Insert(k, FeatureRef{static_cast<std::uint32_t>(k)});
+  }
+  EXPECT_EQ(index.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(index.Find(k).valid()) << k;
+    EXPECT_EQ(index.Find(k).index, static_cast<std::uint32_t>(k));
+  }
+  EXPECT_FALSE(index.Find(kKeys).valid());
+}
+
+// A key probing past a tombstoned slot must stay findable (tombstones must
+// not terminate probe chains), and growth must sweep tombstones while
+// keeping every live entry.
+TEST(DetectionIndexTest, EraseKeepsProbeChainsIntact) {
+  DetectionIndex index;
+  constexpr std::uint64_t kKeys = 512;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    index.Insert(k, FeatureRef{static_cast<std::uint32_t>(k)});
+  }
+  for (std::uint64_t k = 0; k < kKeys; k += 2) index.Erase(k);
+  EXPECT_EQ(index.size(), kKeys / 2);
+  for (std::uint64_t k = 1; k < kKeys; k += 2) {
+    ASSERT_TRUE(index.Find(k).valid()) << k;
+  }
+  // Re-insert over the tombstones, then grow past them.
+  for (std::uint64_t k = 0; k < kKeys; k += 2) {
+    index.Insert(k, FeatureRef{static_cast<std::uint32_t>(k + 1000000)});
+  }
+  for (std::uint64_t k = kKeys; k < 4 * kKeys; ++k) {
+    index.Insert(k, FeatureRef{static_cast<std::uint32_t>(k)});
+  }
+  for (std::uint64_t k = 0; k < kKeys; k += 2) {
+    ASSERT_TRUE(index.Find(k).valid()) << k;
+    EXPECT_EQ(index.Find(k).index, static_cast<std::uint32_t>(k + 1000000));
   }
 }
 

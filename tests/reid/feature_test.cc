@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tmerge/core/status.h"
+
 namespace tmerge::reid {
 namespace {
 
@@ -26,9 +28,29 @@ TEST(FeatureDistanceTest, TriangleInequality) {
             FeatureDistance(a, b) + FeatureDistance(b, c) + 1e-12);
 }
 
-TEST(FeatureDistanceDeathTest, MismatchedSizesAbort) {
+#if TMERGE_DCHECK_ENABLED
+// The dimension check is debug-only (TMERGE_DCHECK): dimensions are
+// validated once at FeatureStore registration, so optimized builds skip
+// the per-call branch in the hot loop.
+TEST(FeatureDistanceDeathTest, MismatchedSizesAbortInDebug) {
   FeatureVector a{1.0}, b{1.0, 2.0};
   EXPECT_DEATH(FeatureDistance(a, b), "TMERGE_CHECK");
+}
+#endif
+
+TEST(FeatureViewTest, ViewsVectorStorage) {
+  FeatureVector v{1.0, 2.0, 3.0};
+  FeatureView view(v);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.data, v.data());
+  EXPECT_EQ(view.dim, 3u);
+  EXPECT_DOUBLE_EQ(view[1], 2.0);
+  EXPECT_EQ(view.ToVector(), v);
+}
+
+TEST(FeatureViewTest, DefaultIsInvalid) {
+  FeatureView view;
+  EXPECT_FALSE(view.valid());
 }
 
 TEST(CropRefTest, DefaultIsFalsePositive) {

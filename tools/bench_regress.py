@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare BENCH_JSON lines against the committed perf baseline.
+
+Benches print machine-readable lines of the form
+
+    BENCH_JSON {"bench":"micro_one_vs_many","map_scalar_ns":3010.2,...}
+
+(bench/bench_util.h, EmitBenchJson). This tool parses those lines from a
+log file (or stdin), looks each bench up in the committed baseline
+(bench/BENCH_tier1.json by default), and flags every time-like field —
+keys ending in ``_ns`` — that regressed by more than the threshold
+(default 25%).
+
+Regressions are reported as GitHub-annotation warnings and the exit code
+stays 0: shared CI runners are far too noisy for a hard perf gate, so the
+job is a tripwire, not a blocker. Pass --strict to turn regressions into
+a non-zero exit (for quiet, dedicated hardware). Structural problems —
+unreadable baseline, no BENCH_JSON lines at all, malformed JSON — always
+fail: a perf-smoke job that silently measured nothing is worse than none.
+
+Speedup-style fields (everything not ending in ``_ns``) are compared
+informationally only; they are ratios of two measurements taken on the
+same run and the _ns fields already cover both sides.
+"""
+
+import argparse
+import json
+import sys
+
+BENCH_PREFIX = "BENCH_JSON "
+
+
+def parse_bench_lines(stream):
+    """Returns {bench_name: {field: value}} from BENCH_JSON lines."""
+    benches = {}
+    for line in stream:
+        line = line.strip()
+        if not line.startswith(BENCH_PREFIX):
+            continue
+        payload = json.loads(line[len(BENCH_PREFIX):])
+        name = payload.pop("bench")
+        benches[name] = payload
+    return benches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", nargs="?", default="-",
+                        help="file with BENCH_JSON lines (default: stdin)")
+    parser.add_argument("--baseline", default="bench/BENCH_tier1.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that triggers a warning")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any field regressed")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)["benches"]
+
+    if args.log == "-":
+        current = parse_bench_lines(sys.stdin)
+    else:
+        with open(args.log, encoding="utf-8") as f:
+            current = parse_bench_lines(f)
+    if not current:
+        print("::error::no BENCH_JSON lines found in input")
+        return 2
+
+    regressions = 0
+    for name, base_fields in sorted(baseline.items()):
+        if name not in current:
+            print(f"::warning::bench {name} in baseline but not in run")
+            continue
+        for field, base in sorted(base_fields.items()):
+            if field not in current[name]:
+                print(f"::warning::{name}.{field} missing from run")
+                continue
+            now = current[name][field]
+            if not field.endswith("_ns"):
+                print(f"{name}.{field}: {base:g} -> {now:g}")
+                continue
+            ratio = now / base if base > 0 else float("inf")
+            marker = ""
+            if ratio > 1.0 + args.threshold:
+                regressions += 1
+                marker = " REGRESSED"
+                print(f"::warning::{name}.{field} regressed "
+                      f"{base:g} -> {now:g} ns ({ratio:.2f}x baseline)")
+            print(f"{name}.{field}: {base:g} -> {now:g} ns "
+                  f"({ratio:.2f}x){marker}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"::notice::bench {name} has no baseline yet")
+
+    if regressions:
+        print(f"{regressions} field(s) regressed beyond "
+              f"{args.threshold:.0%} of baseline")
+        return 1 if args.strict else 0
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
