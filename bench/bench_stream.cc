@@ -1,0 +1,390 @@
+// Streaming ingestion soak: N cameras (default 100) feed a StreamService
+// round-robin under deliberately tight director budgets, so admission
+// control and backpressure actually engage while the merge workers keep
+// up. Reports ingest throughput, p99 service-side window-close latency
+// and the scheduling counters as one BENCH_JSON line for the CI perf
+// lane, and hard-fails (non-zero exit) when the soak invariants break:
+// ingest must finish before the wall-clock watchdog, backpressure must
+// have engaged at least once, and the frame backlog must stay bounded by
+// the per-camera queue cap.
+//
+// --check-determinism additionally runs the batch pipeline over the same
+// synthetic videos and asserts the streamed per-camera selection output
+// is bit-identical (candidates, simulated seconds, inference usage) —
+// the tentpole equivalence guarantee of DESIGN.md §11, checked end to
+// end on every CI run.
+//
+// Env knobs (strict parsing, mirroring the TMERGE_* convention):
+//   TMERGE_STREAM_CAMERAS    number of cameras (default 100)
+//   TMERGE_STREAM_FRAMES     frames per camera (default 300)
+//   TMERGE_STREAM_TIMEOUT_S  wall-clock watchdog in seconds (default 300)
+//   TMERGE_NUM_THREADS       merge workers (bench_util.h, BenchNumThreads)
+//   TMERGE_FAULT[_SEED]      optional failpoint schedule (InitFaultFromEnv)
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "tmerge/core/table_printer.h"
+#include "tmerge/detect/detection_simulator.h"
+#include "tmerge/merge/pipeline.h"
+#include "tmerge/merge/tmerge.h"
+#include "tmerge/reid/synthetic_reid_model.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/stream/stream_service.h"
+#include "tmerge/track/sort_tracker.h"
+
+namespace tmerge::bench {
+namespace {
+
+/// Strict env int: unset -> fallback; anything unparsable or non-positive
+/// warns and falls back, so a typo never silently shrinks the soak.
+std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0) {
+    std::cerr << "bench_stream: ignoring invalid " << name << "='" << raw
+              << "' (want a positive integer); using " << fallback << "\n";
+    return fallback;
+  }
+  return value;
+}
+
+/// Hard wall-clock bound on the whole bench. A wedged stream (deadlock,
+/// lost merge job, stalled admission) must fail the CI soak lane loudly
+/// instead of eating the job timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(double seconds) {
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [this] { return disarmed_; })) {
+        std::cerr << "bench_stream: WATCHDOG expired after " << seconds
+                  << "s — the stream wedged (deadlock or stalled "
+                     "admission); failing the soak\n";
+        std::_Exit(3);
+      }
+    });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+struct SoakSetup {
+  sim::Dataset dataset;
+  std::vector<detect::DetectionSequence> detections;
+  std::vector<std::shared_ptr<const reid::ReidModel>> models;
+  merge::PipelineConfig pipeline;
+};
+
+/// Builds the camera fleet. Detection and model seeds are derived exactly
+/// as merge::PrepareDataset derives them (pipeline.seed + 31 * (i + 1)),
+/// which is what lets --check-determinism compare against the batch
+/// pipeline bit for bit.
+SoakSetup BuildSetup(std::int32_t cameras, std::int32_t frames) {
+  SoakSetup setup;
+  setup.pipeline.window.length = 120;
+  setup.pipeline.seed = 42;
+  setup.pipeline.num_threads = 1;
+
+  sim::VideoConfig base = sim::ProfileConfig(sim::DatasetProfile::kKittiLike);
+  base.num_frames = frames;
+  setup.dataset.name = "stream-soak";
+  setup.dataset.profile = sim::DatasetProfile::kKittiLike;
+  setup.dataset.videos.reserve(cameras);
+  for (std::int32_t i = 0; i < cameras; ++i) {
+    setup.dataset.videos.push_back(
+        sim::GenerateVideo(base, setup.pipeline.seed + i));
+  }
+  setup.detections.reserve(cameras);
+  setup.models.reserve(cameras);
+  for (std::int32_t i = 0; i < cameras; ++i) {
+    std::uint64_t seed = setup.pipeline.seed + 31 * (i + 1);
+    setup.detections.push_back(detect::SimulateDetections(
+        setup.dataset.videos[i], setup.pipeline.detector, seed));
+    setup.models.push_back(std::make_shared<reid::SyntheticReidModel>(
+        setup.dataset.videos[i], setup.pipeline.reid, seed));
+  }
+  return setup;
+}
+
+merge::SelectorOptions SoakSelectorOptions() {
+  merge::SelectorOptions options;
+  options.seed = 5;
+  return options;
+}
+
+/// Streams every camera round-robin. Sim time advances one frame interval
+/// per full round; backpressure verdicts retry with an extra sim-time
+/// step, which is what arms the director's stall watchdog.
+stream::StreamResult RunSoak(const SoakSetup& setup,
+                             merge::CandidateSelector& selector,
+                             int num_threads) {
+  stream::StreamServiceConfig config;
+  config.window = setup.pipeline.window;
+  config.selector = SoakSelectorOptions();
+  config.num_threads = num_threads;
+  // Tight on purpose, and scaled to the fleet. KITTI-like windows carry
+  // ~10 pairs, so a min-batch threshold above a full 4-window job (~40
+  // pairs) defers every mid-stream merge; pending pairs then accumulate
+  // until they hit the fleet-scaled intermediate budget, ingest is
+  // denied, queues fill (backpressure), and the 2-sim-second stall
+  // watchdog force-flushes the backlog — the complete admission-control
+  // cycle, exercised periodically at any TMERGE_STREAM_CAMERAS. The queue
+  // cap also bounds peak memory: peak_queued_frames <= cameras *
+  // max_queued_frames_per_camera.
+  std::int64_t fleet = static_cast<std::int64_t>(setup.detections.size());
+  config.max_queued_frames_per_camera = 16;
+  config.director.max_intermediate_pairs = 8 * fleet;
+  config.director.min_pairs_per_merge_job = 64;
+  config.director.max_inflight_merge_jobs = 8;
+  config.director.stall_timeout_seconds = 2.0;
+  config.ingest_pair_estimate = 8;
+
+  stream::StreamService service(config, selector);
+  for (std::size_t i = 0; i < setup.detections.size(); ++i) {
+    stream::CameraConfig camera;
+    camera.num_frames = setup.detections[i].num_frames;
+    camera.frame_width = setup.detections[i].frame_width;
+    camera.frame_height = setup.detections[i].frame_height;
+    camera.fps = setup.detections[i].fps;
+    camera.model = setup.models[i];
+    service.AddCamera(camera);
+  }
+
+  double now = 0.0;
+  std::int32_t max_frames = 0;
+  for (const auto& sequence : setup.detections) {
+    max_frames = std::max(max_frames, sequence.num_frames);
+  }
+  double frame_step = 1.0 / (30.0 * static_cast<double>(
+                                        setup.detections.size()));
+  for (std::int32_t f = 0; f < max_frames; ++f) {
+    for (std::size_t cam = 0; cam < setup.detections.size(); ++cam) {
+      if (f >= setup.detections[cam].num_frames) continue;
+      now += frame_step;
+      for (;;) {
+        stream::IngestOutcome outcome = service.IngestFrame(
+            static_cast<std::int32_t>(cam), setup.detections[cam].frames[f],
+            now);
+        if (outcome != stream::IngestOutcome::kBackpressure) break;
+        now += 0.25;  // Producer stalls; the stall watchdog sees this.
+      }
+    }
+  }
+  for (std::size_t cam = 0; cam < setup.detections.size(); ++cam) {
+    service.CloseCamera(static_cast<std::int32_t>(cam), now);
+  }
+  return service.Finish(now + 1.0);
+}
+
+double Percentile99(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  std::size_t index = (values.size() * 99 + 99) / 100;  // ceil(0.99 n)
+  if (index > values.size()) index = values.size();
+  return values[index - 1];
+}
+
+/// Batch reference vs streamed output, camera by camera. Returns the
+/// number of divergent cameras (0 = bit-identical).
+int CheckDeterminism(const SoakSetup& setup,
+                     merge::CandidateSelector& selector,
+                     const stream::StreamResult& streamed, int num_threads) {
+  track::SortTracker tracker;
+  std::vector<merge::PreparedVideo> prepared =
+      merge::PrepareDataset(setup.dataset, tracker, setup.pipeline);
+  merge::SelectorOptions options = SoakSelectorOptions();
+  int divergent = 0;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    merge::EvalResult batch =
+        merge::EvaluateSelector(prepared[i], selector, options);
+    const stream::CameraStreamResult& camera = streamed.cameras[i];
+    bool same = camera.candidates == batch.candidates &&
+                camera.simulated_seconds == batch.simulated_seconds &&
+                camera.windows == batch.windows &&
+                camera.pairs == batch.pairs &&
+                camera.box_pairs_evaluated == batch.box_pairs_evaluated &&
+                camera.usage.single_inferences ==
+                    batch.usage.single_inferences &&
+                camera.usage.batched_crops == batch.usage.batched_crops &&
+                camera.usage.distance_evals == batch.usage.distance_evals &&
+                camera.usage.cache_hits == batch.usage.cache_hits;
+    if (!same) {
+      ++divergent;
+      std::cerr << "bench_stream: DETERMINISM VIOLATION camera " << i
+                << ": streamed (candidates=" << camera.candidates.size()
+                << ", windows=" << camera.windows
+                << ", pairs=" << camera.pairs
+                << ", sim_s=" << camera.simulated_seconds
+                << ") vs batch (candidates=" << batch.candidates.size()
+                << ", windows=" << batch.windows
+                << ", pairs=" << batch.pairs
+                << ", sim_s=" << batch.simulated_seconds << ")\n";
+    }
+  }
+  (void)num_threads;
+  return divergent;
+}
+
+int Run(bool check_determinism) {
+  InitObsFromEnv();
+  InitFaultFromEnv();
+  std::int32_t cameras =
+      static_cast<std::int32_t>(EnvInt("TMERGE_STREAM_CAMERAS", 100));
+  std::int32_t frames =
+      static_cast<std::int32_t>(EnvInt("TMERGE_STREAM_FRAMES", 300));
+  double timeout_s =
+      static_cast<double>(EnvInt("TMERGE_STREAM_TIMEOUT_S", 300));
+  int num_threads = BenchNumThreads();
+
+  std::cout << "bench_stream: " << cameras << " cameras x " << frames
+            << " frames, merge workers=" << num_threads
+            << " (0 = hardware), watchdog=" << timeout_s << "s"
+            << (check_determinism ? ", determinism check on" : "") << "\n";
+
+  Watchdog watchdog(timeout_s);
+  SoakSetup setup = BuildSetup(cameras, frames);
+
+  merge::TMergeOptions tmerge_options;
+  merge::TMergeSelector selector(tmerge_options);
+
+  auto start = std::chrono::steady_clock::now();
+  stream::StreamResult result = RunSoak(setup, selector, num_threads);
+  double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> latencies;
+  for (const auto& camera : result.cameras) {
+    latencies.insert(latencies.end(),
+                     camera.window_close_latency_seconds.begin(),
+                     camera.window_close_latency_seconds.end());
+  }
+  double p99_close_s = Percentile99(std::move(latencies));
+  double frames_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(result.frames_ingested) / elapsed_s
+                      : 0.0;
+  double tracks_per_sec =
+      elapsed_s > 0.0
+          ? static_cast<double>(result.tracks_finalized) / elapsed_s
+          : 0.0;
+
+  core::TablePrinter table(
+      {"cameras", "frames", "tracks/s", "frames/s", "p99-close-s",
+       "backpressure", "peak-queued", "merge-jobs", "force-flushes"});
+  table.AddRow()
+      .AddInt(cameras)
+      .AddInt(result.frames_ingested)
+      .AddNumber(tracks_per_sec, 1)
+      .AddNumber(frames_per_sec, 1)
+      .AddNumber(p99_close_s, 3)
+      .AddInt(result.backpressure_events)
+      .AddInt(result.peak_queued_frames)
+      .AddInt(result.merge_jobs_run)
+      .AddInt(result.director.force_flushes);
+
+  std::cout << "BENCH_JSON {\"bench\":\"stream_soak\",\"cameras\":" << cameras
+            << ",\"frames_per_camera\":" << frames
+            << ",\"elapsed_ns\":" << elapsed_s * 1e9
+            << ",\"tracks_per_sec\":" << tracks_per_sec
+            << ",\"frames_per_sec\":" << frames_per_sec
+            << ",\"p99_window_close_s\":" << p99_close_s
+            << ",\"windows\":" << result.windows
+            << ",\"pairs\":" << result.pairs
+            << ",\"backpressure_events\":" << result.backpressure_events
+            << ",\"peak_queued_frames\":" << result.peak_queued_frames
+            << ",\"merge_jobs\":" << result.merge_jobs_run
+            << ",\"merge_jobs_deferred\":" << result.director.merge_jobs_deferred
+            << ",\"force_flushes\":" << result.director.force_flushes << "}\n";
+
+  std::cout << "=== Streaming soak: admission-controlled multi-camera "
+               "ingest ===\n";
+  table.Print(std::cout);
+
+  int failures = 0;
+  // Soak invariants (ISSUE acceptance): backpressure must have engaged —
+  // budgets this tight against this load cannot run entirely in the
+  // clear — and the backlog must respect the per-camera queue cap.
+  if (result.backpressure_events == 0) {
+    std::cerr << "bench_stream: FAIL — backpressure never engaged; the "
+                 "soak did not exercise admission control\n";
+    ++failures;
+  }
+  std::int64_t queue_bound =
+      static_cast<std::int64_t>(cameras) * 16;  // max_queued_frames_per_camera
+  if (result.peak_queued_frames > queue_bound) {
+    std::cerr << "bench_stream: FAIL — peak queued frames "
+              << result.peak_queued_frames << " exceeds the bound "
+              << queue_bound << "\n";
+    ++failures;
+  }
+  if (result.frames_ingested !=
+      static_cast<std::int64_t>(cameras) * frames) {
+    std::cerr << "bench_stream: FAIL — ingested " << result.frames_ingested
+              << " frames, expected "
+              << static_cast<std::int64_t>(cameras) * frames << "\n";
+    ++failures;
+  }
+
+  if (check_determinism) {
+    int divergent = CheckDeterminism(setup, selector, result, num_threads);
+    if (divergent > 0) {
+      std::cerr << "bench_stream: FAIL — " << divergent
+                << " camera(s) diverged from the batch pipeline\n";
+      ++failures;
+    } else {
+      std::cout << "determinism check: all " << cameras
+                << " cameras bit-identical to the batch pipeline\n";
+    }
+  }
+
+  EmitObsSnapshot("stream_soak");
+  if (failures == 0) {
+    std::cout << "bench_stream: OK\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace tmerge::bench
+
+int main(int argc, char** argv) {
+  bool check_determinism = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check-determinism") {
+      check_determinism = true;
+    } else {
+      std::cerr << "usage: bench_stream [--check-determinism]\n";
+      return 2;
+    }
+  }
+  return tmerge::bench::Run(check_determinism);
+}

@@ -19,6 +19,15 @@
 //   io.mot.short_read   a MOT reader's input ends mid-stream
 //   io.mot.corrupt_row  a MOT reader row arrives corrupted
 //   core.pool.submit    ThreadPool::Submit rejects the task
+//   stream.camera.drop_frame
+//                       a camera frame is lost in transport: its
+//                       detections vanish but stream time still advances
+//                       (keyed (camera_id << 32) | frame, so a retried
+//                       frame gets the same verdict)
+//   stream.director.defer
+//                       the MergeDirector defers an otherwise-admissible
+//                       merge job (scheduler hiccup; never consulted in
+//                       force-flush mode, so Finish cannot wedge)
 //
 // Compile-out: -DTMERGE_FAULT_DISABLED erases every site to a constant, so
 // production builds carry no registry lookups at all (the registry class

@@ -1,0 +1,130 @@
+#include "tmerge/stream/incremental_windower.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tmerge/core/status.h"
+
+namespace tmerge::stream {
+
+IncrementalWindower::IncrementalWindower(const merge::WindowConfig& config,
+                                         std::int32_t num_frames)
+    : config_(config), num_frames_(num_frames) {
+  length_ = config.single_window ? num_frames : config.length;
+  if (num_frames_ <= 0) {
+    // Degenerate stream: no frames can arrive, so no windows exist (the
+    // batch path never reaches its length check either — it early-returns
+    // on the empty track list such a stream produces).
+    length_ = std::max<std::int32_t>(1, length_);
+    half_ = 1;
+    num_buckets_ = 0;
+    return;
+  }
+  TMERGE_CHECK(length_ > 0);
+  half_ = std::max<std::int32_t>(1, length_ / 2);
+  num_buckets_ = (num_frames_ + half_ - 1) / half_;
+  if (config.single_window) num_buckets_ = 1;
+  buckets_.resize(num_buckets_);
+}
+
+void IncrementalWindower::AbsorbTracks(
+    const std::vector<track::Track>& tracks) {
+  for (std::size_t i = tracks_seen_; i < tracks.size(); ++i) {
+    std::int32_t first = tracks[i].first_frame();
+    std::int32_t bucket = config_.single_window ? 0 : first / half_;
+    if (bucket >= num_buckets_) bucket = num_buckets_ - 1;
+    // A track retires only after windows strictly before its bucket have
+    // possibly closed; its own bucket cannot have closed yet (closure
+    // requires the track to be retired first), so this never lands in a
+    // sealed bucket.
+    buckets_[bucket].push_back(i);
+  }
+  tracks_seen_ = tracks.size();
+}
+
+void IncrementalWindower::CloseUpTo(std::int32_t bucket_end,
+                                    const std::vector<track::Track>& tracks,
+                                    std::vector<merge::WindowPairs>& closed) {
+  static const std::vector<std::size_t> kEmpty;
+  for (std::int32_t c = next_window_; c < bucket_end; ++c) {
+    merge::WindowPairs window;
+    window.window_index = c;
+    window.start_frame = config_.single_window ? 0 : c * half_;
+    window.end_frame =
+        std::min(num_frames_ - 1, window.start_frame + length_ - 1);
+    window.new_tracks = buckets_[c];
+
+    const std::vector<std::size_t>& tc = buckets_[c];
+    const std::vector<std::size_t>& prev = c > 0 ? buckets_[c - 1] : kEmpty;
+    std::set<metrics::TrackPairKey> seen;
+    for (std::size_t i = 0; i < tc.size(); ++i) {
+      for (std::size_t j = i + 1; j < tc.size(); ++j) {
+        const auto& a = tracks[tc[i]];
+        const auto& b = tracks[tc[j]];
+        if (merge::PairAdmissible(a, b, config_)) {
+          seen.insert(metrics::MakePairKey(a.id, b.id));
+        }
+      }
+    }
+    for (std::size_t i : tc) {
+      for (std::size_t j : prev) {
+        const auto& a = tracks[i];
+        const auto& b = tracks[j];
+        if (merge::PairAdmissible(a, b, config_)) {
+          seen.insert(metrics::MakePairKey(a.id, b.id));
+        }
+      }
+    }
+    window.pairs.assign(seen.begin(), seen.end());
+    if (!window.new_tracks.empty() || !window.pairs.empty()) {
+      closed.push_back(std::move(window));
+    }
+  }
+  if (bucket_end > next_window_) next_window_ = bucket_end;
+}
+
+std::vector<merge::WindowPairs> IncrementalWindower::Advance(
+    const std::vector<track::Track>& tracks, std::int32_t frames_observed,
+    std::int32_t min_active_first_frame) {
+  std::vector<merge::WindowPairs> closed;
+  if (finished_ || num_buckets_ == 0) return closed;
+  AbsorbTracks(tracks);
+  watermark_ = std::max(watermark_, frames_observed);
+
+  // Bucket c is final once neither births (watermark) nor extent growth
+  // (active tracks born before its end) can change it. The last bucket
+  // absorbs clamped late births, so it only closes at Finish; ditto
+  // single-window mode.
+  std::int32_t frontier = std::min(watermark_, min_active_first_frame);
+  std::int32_t bucket_end = std::min(frontier / half_, num_buckets_ - 1);
+  if (config_.single_window) bucket_end = 0;
+  CloseUpTo(bucket_end, tracks, closed);
+  return closed;
+}
+
+std::vector<merge::WindowPairs> IncrementalWindower::Finish(
+    const std::vector<track::Track>& tracks) {
+  std::vector<merge::WindowPairs> closed;
+  if (finished_ || num_buckets_ == 0) {
+    finished_ = true;
+    return closed;
+  }
+  AbsorbTracks(tracks);
+  if (tracks_seen_ == 0) {
+    // BuildWindows returns no windows at all for a trackless video; skip
+    // emitting the (necessarily empty) tail so the lists agree.
+    finished_ = true;
+    next_window_ = num_buckets_;
+    return closed;
+  }
+  CloseUpTo(num_buckets_, tracks, closed);
+  finished_ = true;
+  return closed;
+}
+
+std::int32_t IncrementalWindower::open_windows() const {
+  if (num_buckets_ == 0) return 0;
+  return num_buckets_ - next_window_;
+}
+
+}  // namespace tmerge::stream

@@ -1,0 +1,89 @@
+#ifndef TMERGE_STREAM_INCREMENTAL_WINDOWER_H_
+#define TMERGE_STREAM_INCREMENTAL_WINDOWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tmerge/merge/window.h"
+#include "tmerge/track/track.h"
+
+namespace tmerge::stream {
+
+/// Incremental version of merge::BuildWindows for one camera stream:
+/// windows close as soon as their pair sets are provably final, instead of
+/// all at once after the video ends.
+///
+/// The batch windower buckets tracks by the half-window stride their first
+/// frame falls in; window c pairs bucket c against itself and bucket c-1,
+/// and pair admissibility depends on both tracks' *final* extents. Window
+/// c's pair set is therefore final exactly when
+///
+///   1. the frame watermark has passed the end of stride c (no track can
+///      be born into bucket c anymore), and
+///   2. every track born before the end of stride c has retired (its
+///      extent cannot grow, so admissibility checks are final).
+///
+/// Advance() closes every window whose closure condition newly holds;
+/// Finish() closes the rest (the stream-end force-flush). Feeding the
+/// whole stream and concatenating the closures yields a window list
+/// element-for-element identical to BuildWindows on the final
+/// TrackingResult (pinned by IncrementalWindowerTest.MatchesBatchWindows).
+///
+/// Thread-confined like the streaming tracker it consumes.
+class IncrementalWindower {
+ public:
+  /// `num_frames` is the declared stream length (needed to clamp the last
+  /// bucket exactly as BuildWindows does).
+  IncrementalWindower(const merge::WindowConfig& config,
+                      std::int32_t num_frames);
+
+  /// Registers newly finalized tracks and the new frame watermark
+  /// (`frames_observed` frames seen, `min_active_first_frame` the oldest
+  /// birth frame still active — INT32_MAX when none). `tracks` is the
+  /// camera's full finalized track list in retirement order; only indices
+  /// >= the count seen so far are consumed. Returns the windows that
+  /// became closable, in window order.
+  std::vector<merge::WindowPairs> Advance(
+      const std::vector<track::Track>& tracks, std::int32_t frames_observed,
+      std::int32_t min_active_first_frame);
+
+  /// Stream end: every remaining window closes. Idempotent.
+  std::vector<merge::WindowPairs> Finish(
+      const std::vector<track::Track>& tracks);
+
+  /// Index of the next window that has not closed yet.
+  std::int32_t next_window() const { return next_window_; }
+
+  /// Windows whose pair sets exist but have not closed yet (the "open
+  /// windows" gauge of the service).
+  std::int32_t open_windows() const;
+
+  bool finished() const { return finished_; }
+
+ private:
+  /// Closes windows [next_window_, first stride that cannot close),
+  /// appending non-empty ones to `closed`.
+  void CloseUpTo(std::int32_t bucket_end,
+                 const std::vector<track::Track>& tracks,
+                 std::vector<merge::WindowPairs>& closed);
+
+  /// Consumes tracks [tracks_seen_, tracks.size()) into buckets.
+  void AbsorbTracks(const std::vector<track::Track>& tracks);
+
+  merge::WindowConfig config_;
+  std::int32_t num_frames_;
+  std::int32_t length_;
+  std::int32_t half_;
+  std::int32_t num_buckets_;
+  /// Bucket -> indices into the camera's finalized track list, in
+  /// retirement order (matching BuildWindows' iteration order).
+  std::vector<std::vector<std::size_t>> buckets_;
+  std::size_t tracks_seen_ = 0;
+  std::int32_t next_window_ = 0;
+  std::int32_t watermark_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace tmerge::stream
+
+#endif  // TMERGE_STREAM_INCREMENTAL_WINDOWER_H_

@@ -1,0 +1,160 @@
+#ifndef TMERGE_STREAM_MERGE_DIRECTOR_H_
+#define TMERGE_STREAM_MERGE_DIRECTOR_H_
+
+#include <cstdint>
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace tmerge::stream {
+
+/// Budgets and timeouts of the admission controller. Defaults are sized
+/// for the synthetic profiles (hundreds of pairs per window); bench_stream
+/// and the soak tests shrink them to force backpressure on purpose.
+struct MergeDirectorConfig {
+  /// Ceiling on candidate pairs resident in the system: pending (closed
+  /// windows waiting for a merge job) plus the estimates of admitted
+  /// ingest jobs that have not reported their actual pair counts yet.
+  /// Ingest admission is denied once this budget would be exceeded — the
+  /// backpressure-before-memory-pressure contract.
+  std::int64_t max_intermediate_pairs = 65536;
+  /// A merge job is only worth scheduling once this many pairs are
+  /// pending (amortizes per-job overhead), except in force-flush mode.
+  std::int64_t min_pairs_per_merge_job = 512;
+  /// Concurrent merge jobs allowed in flight.
+  std::int32_t max_inflight_merge_jobs = 8;
+  /// Simulated seconds the ingest side may stay blocked on the pair
+  /// budget before the director force-flushes (schedules merge jobs below
+  /// min_pairs_per_merge_job) to break the stall. <= 0 disables the
+  /// watchdog (force-flush then only happens at stream end).
+  double stall_timeout_seconds = 5.0;
+};
+
+/// Point-in-time view of the director's accounting, for tests and the
+/// service's metrics export.
+struct MergeDirectorStats {
+  std::int64_t pending_pairs = 0;
+  std::int64_t estimated_pairs = 0;
+  std::int64_t inflight_merge_jobs = 0;
+  std::int64_t ingest_jobs_admitted = 0;
+  std::int64_t ingest_jobs_deferred = 0;
+  std::int64_t merge_jobs_admitted = 0;
+  std::int64_t merge_jobs_deferred = 0;
+  std::int64_t force_flushes = 0;
+  bool force_flush = false;
+};
+
+/// Admission controller for the streaming pipeline, modeled on the
+/// auto-merge director pattern (SNIPPETS.md Snippet 1): "task jobs"
+/// (ingest work that closes windows and produces intermediate candidate
+/// pairs) and "merge jobs" (batched ReID/selection over pending pairs)
+/// compete under two budgets —
+///
+///   - an intermediate-pair budget: ingest is admitted only while
+///     pending + in-flight-estimated pairs stay within
+///     max_intermediate_pairs, so the frame queues back up (visible,
+///     bounded backpressure) instead of the pair pool (unbounded memory);
+///   - an in-flight-job budget: at most max_inflight_merge_jobs merge
+///     jobs run concurrently, and a job is only scheduled once
+///     min_pairs_per_merge_job pairs are pending — unless force-flush is
+///     on, when any nonzero backlog is admissible.
+///
+/// Force-flush turns on at stream end (OnStreamCompleted) and when the
+/// ingest side has been continuously deferred for stall_timeout_seconds
+/// of *simulated* time (the caller passes sim-time into the admission
+/// probes; the director never reads a wall clock). It turns back off as
+/// soon as ingest makes progress again mid-stream.
+///
+/// State machine (DESIGN.md §11):
+///
+///     FLOWING --budget exhausted--> BLOCKED --stall timeout--> FLUSHING
+///        ^                            |                           |
+///        |---- ingest admitted -------+--- pending drained -------|
+///
+/// Thread-safe: every method takes the internal mutex; the service calls
+/// the probes from its own locked region, merge-job completions from pool
+/// threads.
+class MergeDirector {
+ public:
+  explicit MergeDirector(const MergeDirectorConfig& config);
+
+  /// True when an ingest step expected to produce `estimated_pairs` new
+  /// candidate pairs may run at simulated time `now_seconds`. A denial
+  /// counts as a deferral and starts (or continues) the stall clock; a
+  /// denial that has lasted stall_timeout_seconds flips force-flush on.
+  bool CanScheduleIngestJob(std::int64_t estimated_pairs, double now_seconds)
+      TMERGE_EXCLUDES(mutex_);
+
+  /// Reserves `estimated_pairs` against the intermediate budget. Call
+  /// only after CanScheduleIngestJob approved the same estimate.
+  void OnIngestJobStarted(std::int64_t estimated_pairs)
+      TMERGE_EXCLUDES(mutex_);
+
+  /// Releases the reservation made by OnIngestJobStarted. The pairs the
+  /// job actually produced are reported separately via
+  /// OnMergeInputProcessed (they may differ from the estimate in either
+  /// direction, as in Snippet 1's scenario).
+  void OnIngestJobFinished(std::int64_t estimated_pairs)
+      TMERGE_EXCLUDES(mutex_);
+
+  /// Adds `actual_pairs` pairs to the pending (mergeable) pool.
+  void OnMergeInputProcessed(std::int64_t actual_pairs)
+      TMERGE_EXCLUDES(mutex_);
+
+  /// True when a merge job over `pending_pairs` of the pool may start:
+  /// the in-flight budget has room and the batch is either large enough
+  /// or force-flush is on (then any nonzero batch goes). Denials are
+  /// counted. The "stream.director.defer" failpoint, keyed by the probe
+  /// ticket, forces a deferral to model scheduler hiccups.
+  bool CanScheduleMergeJob(std::int64_t pending_pairs)
+      TMERGE_EXCLUDES(mutex_);
+
+  void OnMergeJobStarted(std::int64_t pairs_taken) TMERGE_EXCLUDES(mutex_);
+
+  /// Completes one merge job that drained `pairs_processed` pairs from
+  /// the pool; ingest may resume if the budget recovered.
+  void OnMergeJobFinished(std::int64_t pairs_processed)
+      TMERGE_EXCLUDES(mutex_);
+
+  /// The stream ended: force-flush stays on until the pool is empty, so
+  /// every remaining pair is merged regardless of batch-size thresholds.
+  void OnStreamCompleted() TMERGE_EXCLUDES(mutex_);
+
+  /// True while small-batch merge jobs are admissible (stream completed
+  /// or stall watchdog fired).
+  bool force_flush() const TMERGE_EXCLUDES(mutex_);
+
+  MergeDirectorStats stats() const TMERGE_EXCLUDES(mutex_);
+
+  const MergeDirectorConfig& config() const { return config_; }
+
+ private:
+  /// Shared accounting for both admission outcomes of the ingest probe.
+  void NoteIngestDeferred(double now_seconds) TMERGE_REQUIRES(mutex_);
+
+  const MergeDirectorConfig config_;
+  mutable core::Mutex mutex_;
+  /// Pairs sitting in closed windows, waiting for a merge job.
+  std::int64_t pending_pairs_ TMERGE_GUARDED_BY(mutex_) = 0;
+  /// Estimates reserved by admitted-but-unfinished ingest jobs.
+  std::int64_t estimated_pairs_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int32_t inflight_merge_jobs_ TMERGE_GUARDED_BY(mutex_) = 0;
+  bool stream_completed_ TMERGE_GUARDED_BY(mutex_) = false;
+  bool stall_flush_ TMERGE_GUARDED_BY(mutex_) = false;
+  /// Sim-time when the current run of consecutive ingest deferrals
+  /// started; < 0 when ingest is not blocked.
+  double blocked_since_seconds_ TMERGE_GUARDED_BY(mutex_) = -1.0;
+  /// Monotonic ticket per merge-admission probe; keys the
+  /// "stream.director.defer" failpoint.
+  std::uint64_t merge_probe_tickets_ TMERGE_GUARDED_BY(mutex_) = 0;
+  // Counters (stats()).
+  std::int64_t ingest_admitted_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int64_t ingest_deferred_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int64_t merge_admitted_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int64_t merge_deferred_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int64_t force_flushes_ TMERGE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace tmerge::stream
+
+#endif  // TMERGE_STREAM_MERGE_DIRECTOR_H_

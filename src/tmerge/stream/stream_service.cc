@@ -1,0 +1,518 @@
+#include "tmerge/stream/stream_service.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "tmerge/core/status.h"
+#include "tmerge/fault/failpoint.h"
+#include "tmerge/merge/pair_store.h"
+#include "tmerge/obs/metrics.h"
+#include "tmerge/obs/span.h"
+
+namespace tmerge::stream {
+
+#ifndef TMERGE_OBS_DISABLED
+namespace {
+
+obs::Counter& StreamCounter(const char* name) {
+  return obs::DefaultRegistry().GetCounter(name);
+}
+
+}  // namespace
+#endif  // TMERGE_OBS_DISABLED
+
+StreamService::CameraState::CameraState(std::int32_t id,
+                                        const CameraConfig& camera,
+                                        const merge::WindowConfig& window)
+    : camera_id(id),
+      config(camera),
+      tracker(camera.sort, camera.num_frames, camera.frame_width,
+              camera.frame_height, camera.fps),
+      windower(window, camera.num_frames) {}
+
+StreamService::StreamService(const StreamServiceConfig& config,
+                             merge::CandidateSelector& selector)
+    : config_(config),
+      ingest_estimate_(std::clamp<std::int64_t>(
+          config.ingest_pair_estimate, 1,
+          config.director.max_intermediate_pairs)),
+      selector_(selector),
+      director_(config.director) {
+  TMERGE_CHECK(config_.max_queued_frames_per_camera > 0);
+  TMERGE_CHECK(config_.max_windows_per_merge_job > 0);
+  int workers = core::ResolveNumThreads(config_.num_threads);
+  // num_threads == 1 is the serial reference path (no threads at all),
+  // matching the pipeline convention.
+  if (config_.num_threads != 1 && workers > 1) {
+    pool_ = std::make_unique<core::ThreadPool>(workers);
+  }
+}
+
+StreamService::~StreamService() {
+  // Join in-flight merge jobs before the state they reference is torn
+  // down. (ThreadPool's destructor discards still-queued jobs, which is
+  // fine here: an abandoned service has no result to corrupt.)
+  pool_.reset();
+}
+
+std::int32_t StreamService::AddCamera(const CameraConfig& camera) {
+  TMERGE_CHECK(camera.num_frames >= 0);
+  TMERGE_CHECK(camera.model != nullptr);
+  core::MutexLock lock(mutex_);
+  TMERGE_CHECK(!finished_);
+  std::int32_t id = static_cast<std::int32_t>(cameras_.size());
+  cameras_.push_back(
+      std::make_unique<CameraState>(id, camera, config_.window));
+  ++open_cameras_;
+  return id;
+}
+
+IngestOutcome StreamService::IngestFrame(std::int32_t camera_id,
+                                         const detect::DetectionFrame& frame,
+                                         double now_seconds) {
+  TMERGE_SPAN("stream.ingest.seconds");
+  std::vector<MergeJob> jobs;
+  IngestOutcome outcome = IngestOutcome::kAccepted;
+  {
+    core::MutexLock lock(mutex_);
+    now_watermark_ = std::max(now_watermark_, now_seconds);
+    if (finished_ || camera_id < 0 ||
+        camera_id >= static_cast<std::int32_t>(cameras_.size())) {
+      return IngestOutcome::kRejected;
+    }
+    CameraState& camera = *cameras_[camera_id];
+    if (camera.close_requested) return IngestOutcome::kRejected;
+    // A full queue is a backpressure event whether or not the producer
+    // ends up bounced: either way it was stalled by the consumer side.
+    if (static_cast<std::int32_t>(camera.frame_queue.size()) >=
+        config_.max_queued_frames_per_camera) {
+      ++backpressure_events_;
+      TMERGE_OBS({
+        static obs::Counter& counter =
+            StreamCounter("stream.backpressure_events");
+        counter.Add();
+      });
+    }
+    // Full queue with jobs in flight: wait for a completion instead of
+    // bouncing. The Wait releases the mutex, which is what lets the worker
+    // in — a producer that spins on kBackpressure in a tight loop would
+    // otherwise starve ExecuteChain of the lock and wedge the stream with
+    // the director convinced a job is still running.
+    while (static_cast<std::int32_t>(camera.frame_queue.size()) >=
+               config_.max_queued_frames_per_camera &&
+           inflight_jobs_ > 0) {
+      idle_cv_.Wait(mutex_);
+    }
+    if (camera.close_requested || finished_) return IngestOutcome::kRejected;
+    if (static_cast<std::int32_t>(camera.frame_queue.size()) >=
+        config_.max_queued_frames_per_camera) {
+      // Nothing in flight to wait for: bounce, but still pump before
+      // returning — these bounced calls are the only thing probing the
+      // director with advancing sim time, and the pump is what arms the
+      // stall watchdog and schedules the merge jobs that eventually
+      // unblock ingest. Returning early here deadlocks.
+      outcome = IngestOutcome::kBackpressure;
+    } else {
+      // Keyed per (camera, frame): a retried frame gets the same verdict,
+      // so drop schedules are reproducible under any ingest interleaving.
+      std::uint64_t drop_key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(camera_id))
+           << 32) |
+          static_cast<std::uint32_t>(frame.frame);
+      if (TMERGE_FAILPOINT("stream.camera.drop_frame", drop_key)) {
+        // Transport loss: the detections are gone but stream time still
+        // advances, so an empty frame takes the slot (the tracker coasts).
+        detect::DetectionFrame lost;
+        lost.frame = frame.frame;
+        camera.frame_queue.push_back(std::move(lost));
+        ++camera.frames_dropped;
+        TMERGE_OBS({
+          static obs::Counter& counter =
+              StreamCounter("stream.frames_dropped");
+          counter.Add();
+        });
+        outcome = IngestOutcome::kDropped;
+      } else {
+        camera.frame_queue.push_back(frame);
+      }
+      ++camera.frames_ingested;
+      ++queued_frames_;
+      peak_queued_frames_ = std::max(peak_queued_frames_, queued_frames_);
+      TMERGE_OBS({
+        static obs::Counter& counter =
+            StreamCounter("stream.frames_ingested");
+        counter.Add();
+      });
+    }
+    jobs = PumpLocked(now_seconds);
+  }
+  Dispatch(std::move(jobs));
+  return outcome;
+}
+
+void StreamService::CloseCamera(std::int32_t camera_id, double now_seconds) {
+  std::vector<MergeJob> jobs;
+  {
+    core::MutexLock lock(mutex_);
+    now_watermark_ = std::max(now_watermark_, now_seconds);
+    TMERGE_CHECK(camera_id >= 0 &&
+                 camera_id < static_cast<std::int32_t>(cameras_.size()));
+    CameraState& camera = *cameras_[camera_id];
+    if (camera.close_requested) return;
+    camera.close_requested = true;
+    --open_cameras_;
+    if (open_cameras_ == 0) director_.OnStreamCompleted();
+    jobs = PumpLocked(now_seconds);
+  }
+  Dispatch(std::move(jobs));
+}
+
+void StreamService::DrainCameraLocked(CameraState& camera,
+                                      double now_seconds) {
+  while (!camera.frame_queue.empty()) {
+    if (!director_.CanScheduleIngestJob(ingest_estimate_, now_seconds)) {
+      return;
+    }
+    director_.OnIngestJobStarted(ingest_estimate_);
+    detect::DetectionFrame frame = std::move(camera.frame_queue.front());
+    camera.frame_queue.pop_front();
+    --queued_frames_;
+    camera.tracker.Observe(frame);
+    std::vector<merge::WindowPairs> closed = camera.windower.Advance(
+        camera.tracker.result().tracks, camera.tracker.frames_observed(),
+        camera.tracker.min_active_first_frame());
+    EnqueueClosedLocked(camera, std::move(closed), now_seconds);
+    // Release the estimate reservation; actual pair counts were reported
+    // above via OnMergeInputProcessed (they may differ in either
+    // direction, as in the auto-merge scenario this models).
+    director_.OnIngestJobFinished(ingest_estimate_);
+  }
+  if (camera.close_requested && !camera.tracker_finished) {
+    FinishCameraLocked(camera, now_seconds);
+  }
+}
+
+void StreamService::FinishCameraLocked(CameraState& camera,
+                                       double now_seconds) {
+  camera.tracker.Finish();
+  std::vector<merge::WindowPairs> closed =
+      camera.windower.Finish(camera.tracker.result().tracks);
+  EnqueueClosedLocked(camera, std::move(closed), now_seconds);
+  camera.tracker_finished = true;
+}
+
+void StreamService::EnqueueClosedLocked(
+    CameraState& camera, std::vector<merge::WindowPairs> closed,
+    double now_seconds) {
+  for (merge::WindowPairs& window : closed) {
+    TMERGE_OBS({
+      static obs::Counter& counter = StreamCounter("stream.windows_closed");
+      counter.Add();
+    });
+    // Pairless windows never reach a selector in the batch path either
+    // (EvaluateSelector skips them), so they close silently.
+    if (window.pairs.empty()) continue;
+    director_.OnMergeInputProcessed(
+        static_cast<std::int64_t>(window.pairs.size()));
+    PendingWindow pending;
+    pending.window = std::move(window);
+    pending.ready_seconds = now_seconds;
+    camera.pending_windows.push_back(std::move(pending));
+  }
+}
+
+bool StreamService::ScheduleCameraJobLocked(CameraState& camera,
+                                            double now_seconds,
+                                            MergeJob& job) {
+  if (camera.job_inflight || camera.pending_windows.empty()) return false;
+  std::int32_t batch = std::min<std::int32_t>(
+      config_.max_windows_per_merge_job,
+      static_cast<std::int32_t>(camera.pending_windows.size()));
+  std::int64_t total_pairs = 0;
+  for (std::int32_t i = 0; i < batch; ++i) {
+    total_pairs +=
+        static_cast<std::int64_t>(camera.pending_windows[i].window.pairs.size());
+  }
+  if (!director_.CanScheduleMergeJob(total_pairs)) return false;
+  director_.OnMergeJobStarted(total_pairs);
+  camera.job_inflight = true;
+
+  job.camera_id = camera.camera_id;
+  job.camera = &camera;
+  job.total_pairs = total_pairs;
+  job.admit_seconds = now_seconds;
+  job.windows.reserve(batch);
+  std::unordered_set<track::TrackId> wanted;
+  for (std::int32_t i = 0; i < batch; ++i) {
+    PendingWindow& pending = camera.pending_windows.front();
+    for (const metrics::TrackPairKey& key : pending.window.pairs) {
+      wanted.insert(key.first);
+      wanted.insert(key.second);
+    }
+    job.windows.push_back(std::move(pending));
+    camera.pending_windows.pop_front();
+  }
+  // Copy the referenced tracks out of the live tracking result: the
+  // camera keeps retiring tracks into it while this job runs, and a
+  // push_back may reallocate under a concurrent reader. The copies carry
+  // the same ids and boxes the batch PairContext would see.
+  const track::TrackingResult& live = camera.tracker.result();
+  job.tracks.tracker_name = live.tracker_name;
+  job.tracks.num_frames = live.num_frames;
+  job.tracks.frame_width = live.frame_width;
+  job.tracks.frame_height = live.frame_height;
+  job.tracks.fps = live.fps;
+  job.tracks.tracks.reserve(wanted.size());
+  for (const track::Track& track : live.tracks) {
+    if (wanted.contains(track.id)) job.tracks.tracks.push_back(track);
+  }
+
+  ++inflight_jobs_;
+  ++merge_jobs_run_;
+  TMERGE_OBS({
+    static obs::Counter& counter = StreamCounter("stream.merge_jobs");
+    counter.Add();
+  });
+  return true;
+}
+
+std::vector<StreamService::MergeJob> StreamService::PumpLocked(
+    double now_seconds) {
+  for (auto& camera : cameras_) DrainCameraLocked(*camera, now_seconds);
+  std::vector<MergeJob> jobs;
+  for (auto& camera : cameras_) {
+    MergeJob job;
+    if (ScheduleCameraJobLocked(*camera, now_seconds, job)) {
+      jobs.push_back(std::move(job));
+    }
+  }
+  TMERGE_OBS({
+    if (obs::Enabled()) {
+      obs::MetricsRegistry& registry = obs::DefaultRegistry();
+      static obs::Gauge& queued = registry.GetGauge("stream.queued_frames");
+      static obs::Gauge& open_windows =
+          registry.GetGauge("stream.open_windows");
+      static obs::Gauge& pending = registry.GetGauge("stream.pending_pairs");
+      queued.Set(static_cast<double>(queued_frames_));
+      std::int64_t open = 0;
+      for (const auto& camera : cameras_) {
+        open += camera->windower.open_windows();
+      }
+      open_windows.Set(static_cast<double>(open));
+      pending.Set(static_cast<double>(director_.stats().pending_pairs));
+    }
+  });
+  return jobs;
+}
+
+void StreamService::Dispatch(std::vector<MergeJob> jobs) {
+  for (MergeJob& job : jobs) {
+    if (!pool_) {
+      ExecuteChain(std::move(job));
+      continue;
+    }
+    // shared_ptr because std::function requires a copyable callable.
+    auto shared = std::make_shared<MergeJob>(std::move(job));
+    core::Status status =
+        pool_->Submit([this, shared] { ExecuteChain(std::move(*shared)); });
+    if (!status.ok()) {
+      // Saturated executor ("core.pool.submit" failpoint): degrade to
+      // inline execution instead of dropping the job.
+      {
+        core::MutexLock lock(mutex_);
+        ++inline_fallbacks_;
+      }
+      ExecuteChain(std::move(*shared));
+    }
+  }
+}
+
+void StreamService::ExecuteChain(MergeJob job) {
+  // A worklist, not recursion: in serial mode one long stream chains
+  // hundreds of jobs and must not grow the stack with them.
+  std::deque<MergeJob> local;
+  local.push_back(std::move(job));
+  while (!local.empty()) {
+    MergeJob current = std::move(local.front());
+    local.pop_front();
+    std::vector<WindowOutcome> outcomes = RunMergeJob(current);
+    std::vector<MergeJob> next;
+    {
+      core::MutexLock lock(mutex_);
+      CameraState& camera = *current.camera;
+      for (WindowOutcome& outcome : outcomes) {
+        camera.outcomes.push_back(std::move(outcome));
+      }
+      camera.job_inflight = false;
+      --inflight_jobs_;
+      director_.OnMergeJobFinished(current.total_pairs);
+      // Completing a job frees budget on both sides: drain what the
+      // director now admits and schedule follow-up jobs.
+      next = PumpLocked(now_watermark_);
+      idle_cv_.NotifyAll();
+    }
+    for (MergeJob& follow : next) {
+      if (!pool_) {
+        local.push_back(std::move(follow));
+        continue;
+      }
+      auto shared = std::make_shared<MergeJob>(std::move(follow));
+      core::Status status =
+          pool_->Submit([this, shared] { ExecuteChain(std::move(*shared)); });
+      if (!status.ok()) {
+        {
+          core::MutexLock lock(mutex_);
+          ++inline_fallbacks_;
+        }
+        local.push_back(std::move(*shared));
+      }
+    }
+  }
+}
+
+std::vector<StreamService::WindowOutcome> StreamService::RunMergeJob(
+    MergeJob& job) {
+  TMERGE_SPAN("stream.merge_job.seconds");
+  std::vector<WindowOutcome> outcomes;
+  outcomes.reserve(job.windows.size());
+  for (PendingWindow& pending : job.windows) {
+    merge::SelectorOptions options = config_.selector;
+    // The batch pipeline's per-window derivation, verbatim — this is what
+    // makes every streamed SelectionResult bit-identical to its batch
+    // counterpart (EvaluateSelector in merge/pipeline.cc).
+    options.seed =
+        config_.selector.seed + 1009 * (pending.window.window_index + 1);
+    merge::PairContext context(job.tracks, pending.window.pairs);
+    WindowOutcome outcome;
+    outcome.window_pairs =
+        static_cast<std::int64_t>(pending.window.pairs.size());
+    {
+      TMERGE_SPAN("stream.select.seconds");
+      outcome.selection = selector_.Select(context, *job.camera->config.model,
+                                           job.camera->cache, options);
+    }
+    // Service-side close latency: how long the closed window waited for
+    // admission, plus the simulated selection time of the window itself.
+    outcome.latency_seconds = (job.admit_seconds - pending.ready_seconds) +
+                              outcome.selection.simulated_seconds;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+StreamResult StreamService::Finish(double now_seconds) {
+  {
+    core::MutexLock lock(mutex_);
+    TMERGE_CHECK(!finished_);
+    now_watermark_ = std::max(now_watermark_, now_seconds);
+    for (auto& camera : cameras_) {
+      if (!camera->close_requested) {
+        camera->close_requested = true;
+        --open_cameras_;
+      }
+    }
+    if (open_cameras_ == 0) director_.OnStreamCompleted();
+  }
+
+  // Drain loop. Every iteration either runs jobs, observes progress made
+  // by PumpLocked (frames drained, trackers finished), or blocks on a job
+  // completion — with force-flush on, the director always admits the next
+  // step, so the loop terminates (DESIGN.md §11, liveness argument).
+  bool done = false;
+  while (!done) {
+    std::vector<MergeJob> jobs;
+    {
+      core::MutexLock lock(mutex_);
+      jobs = PumpLocked(now_watermark_);
+      if (jobs.empty()) {
+        if (AllIdleLocked()) {
+          done = true;
+        } else if (inflight_jobs_ > 0) {
+          std::int64_t before = inflight_jobs_;
+          while (inflight_jobs_ >= before && !AllIdleLocked()) {
+            idle_cv_.Wait(mutex_);
+          }
+        }
+      }
+    }
+    Dispatch(std::move(jobs));
+  }
+
+  core::MutexLock lock(mutex_);
+  finished_ = true;
+  return BuildResultLocked();
+}
+
+bool StreamService::AllIdleLocked() const {
+  if (inflight_jobs_ > 0) return false;
+  for (const auto& camera : cameras_) {
+    if (!camera->frame_queue.empty()) return false;
+    if (!camera->tracker_finished) return false;
+    if (!camera->pending_windows.empty()) return false;
+    if (camera->job_inflight) return false;
+  }
+  return true;
+}
+
+StreamResult StreamService::BuildResultLocked() {
+  StreamResult out;
+  out.cameras.reserve(cameras_.size());
+  for (const auto& camera_ptr : cameras_) {
+    const CameraState& camera = *camera_ptr;
+    CameraStreamResult per;
+    per.camera_id = camera.camera_id;
+    per.frames_ingested = camera.frames_ingested;
+    per.frames_dropped = camera.frames_dropped;
+    per.tracks_finalized =
+        static_cast<std::int64_t>(camera.tracker.result().tracks.size());
+    per.window_close_latency_seconds.reserve(camera.outcomes.size());
+    // Window-order accumulation — the same floating-point sequence as
+    // EvaluateSelector's per-window loop.
+    std::set<metrics::TrackPairKey> selected;
+    for (const WindowOutcome& outcome : camera.outcomes) {
+      const merge::SelectionResult& selection = outcome.selection;
+      per.simulated_seconds += selection.simulated_seconds;
+      per.usage += selection.usage;
+      per.box_pairs_evaluated += selection.box_pairs_evaluated;
+      per.failed_pulls += selection.failed_pulls;
+      per.reid_retries += selection.reid_retries;
+      if (selection.degraded) ++per.degraded_windows;
+      per.pairs += outcome.window_pairs;
+      ++per.windows;
+      for (const metrics::TrackPairKey& pair : selection.candidates) {
+        selected.insert(pair);
+      }
+      per.window_close_latency_seconds.push_back(outcome.latency_seconds);
+    }
+    per.candidates.assign(selected.begin(), selected.end());
+
+    // Camera-order reduction — EvaluateDataset's video-order sequence.
+    out.simulated_seconds += per.simulated_seconds;
+    out.usage += per.usage;
+    out.box_pairs_evaluated += per.box_pairs_evaluated;
+    out.failed_pulls += per.failed_pulls;
+    out.reid_retries += per.reid_retries;
+    out.degraded_windows += per.degraded_windows;
+    out.windows += per.windows;
+    out.pairs += per.pairs;
+    out.frames_ingested += per.frames_ingested;
+    out.frames_dropped += per.frames_dropped;
+    out.tracks_finalized += per.tracks_finalized;
+    out.cameras.push_back(std::move(per));
+  }
+  out.backpressure_events = backpressure_events_;
+  out.peak_queued_frames = peak_queued_frames_;
+  out.merge_jobs_run = merge_jobs_run_;
+  out.merge_jobs_inline_fallback = inline_fallbacks_;
+  out.director = director_.stats();
+  return out;
+}
+
+std::int64_t StreamService::queued_frames() const {
+  core::MutexLock lock(mutex_);
+  return queued_frames_;
+}
+
+}  // namespace tmerge::stream

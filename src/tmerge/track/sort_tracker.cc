@@ -1,111 +1,125 @@
 #include "tmerge/track/sort_tracker.h"
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "tmerge/track/hungarian.h"
-#include "tmerge/track/kalman_filter.h"
 
 namespace tmerge::track {
-namespace {
 
-struct ActiveTrack {
-  TrackId id;
-  KalmanBoxFilter filter;
-  std::vector<TrackedBox> boxes;
-  std::int32_t time_since_update = 0;
-  core::BoundingBox predicted;
-};
+StreamingSortTracker::StreamingSortTracker(const SortConfig& config,
+                                           std::int32_t num_frames,
+                                           double frame_width,
+                                           double frame_height, double fps)
+    : config_(config) {
+  result_.tracker_name = "SORT";
+  result_.num_frames = num_frames;
+  result_.frame_width = frame_width;
+  result_.frame_height = frame_height;
+  result_.fps = fps;
+}
 
-}  // namespace
+void StreamingSortTracker::Finalize(ActiveTrack& track) {
+  if (static_cast<std::int32_t>(track.boxes.size()) >= config_.min_hits) {
+    Track out;
+    out.id = track.id;
+    out.boxes = std::move(track.boxes);
+    result_.tracks.push_back(std::move(out));
+  }
+}
 
-TrackingResult SortTracker::Run(const detect::DetectionSequence& detections) {
-  TrackingResult result;
-  result.tracker_name = name();
-  result.num_frames = detections.num_frames;
-  result.frame_width = detections.frame_width;
-  result.frame_height = detections.frame_height;
-  result.fps = detections.fps;
+void StreamingSortTracker::Observe(const detect::DetectionFrame& frame) {
+  // Predict all active tracks forward one frame.
+  for (auto& track : active_) {
+    track.predicted = track.filter.Predict();
+  }
 
-  std::vector<ActiveTrack> active;
-  TrackId next_id = 1;
-
-  auto finalize = [&](ActiveTrack& track) {
-    if (static_cast<std::int32_t>(track.boxes.size()) >= config_.min_hits) {
-      Track out;
-      out.id = track.id;
-      out.boxes = std::move(track.boxes);
-      result.tracks.push_back(std::move(out));
-    }
-  };
-
-  for (const auto& frame : detections.frames) {
-    // Predict all active tracks forward one frame.
-    for (auto& track : active) {
-      track.predicted = track.filter.Predict();
-    }
-
-    std::vector<const detect::Detection*> dets;
-    for (const auto& detection : frame.detections) {
-      if (detection.confidence >= config_.min_confidence) {
-        dets.push_back(&detection);
-      }
-    }
-
-    std::vector<int> det_of_track(active.size(), -1);
-    std::vector<char> det_used(dets.size(), 0);
-    if (!active.empty() && !dets.empty()) {
-      std::vector<std::vector<double>> cost(
-          active.size(), std::vector<double>(dets.size(), 0.0));
-      for (std::size_t t = 0; t < active.size(); ++t) {
-        for (std::size_t d = 0; d < dets.size(); ++d) {
-          cost[t][d] = 1.0 - core::Iou(active[t].predicted, dets[d]->box);
-        }
-      }
-      std::vector<int> assignment = SolveAssignment(cost);
-      for (std::size_t t = 0; t < active.size(); ++t) {
-        int d = assignment[t];
-        if (d >= 0 && cost[t][d] <= 1.0 - config_.iou_threshold) {
-          det_of_track[t] = d;
-          det_used[d] = 1;
-        }
-      }
-    }
-
-    for (std::size_t t = 0; t < active.size(); ++t) {
-      if (det_of_track[t] >= 0) {
-        const detect::Detection& det = *dets[det_of_track[t]];
-        active[t].filter.Update(det.box);
-        active[t].boxes.push_back(TrackedBox::FromDetection(det));
-        active[t].time_since_update = 0;
-      } else {
-        ++active[t].time_since_update;
-      }
-    }
-
-    // Terminate stale tracks.
-    std::vector<ActiveTrack> survivors;
-    survivors.reserve(active.size());
-    for (auto& track : active) {
-      if (track.time_since_update > config_.max_age) {
-        finalize(track);
-      } else {
-        survivors.push_back(std::move(track));
-      }
-    }
-    active = std::move(survivors);
-
-    // Births from unmatched detections.
-    for (std::size_t d = 0; d < dets.size(); ++d) {
-      if (det_used[d]) continue;
-      ActiveTrack track{next_id++, KalmanBoxFilter(dets[d]->box), {}, 0, {}};
-      track.boxes.push_back(TrackedBox::FromDetection(*dets[d]));
-      active.push_back(std::move(track));
+  std::vector<const detect::Detection*> dets;
+  for (const auto& detection : frame.detections) {
+    if (detection.confidence >= config_.min_confidence) {
+      dets.push_back(&detection);
     }
   }
 
-  for (auto& track : active) finalize(track);
-  return result;
+  std::vector<int> det_of_track(active_.size(), -1);
+  std::vector<char> det_used(dets.size(), 0);
+  if (!active_.empty() && !dets.empty()) {
+    std::vector<std::vector<double>> cost(
+        active_.size(), std::vector<double>(dets.size(), 0.0));
+    for (std::size_t t = 0; t < active_.size(); ++t) {
+      for (std::size_t d = 0; d < dets.size(); ++d) {
+        cost[t][d] = 1.0 - core::Iou(active_[t].predicted, dets[d]->box);
+      }
+    }
+    std::vector<int> assignment = SolveAssignment(cost);
+    for (std::size_t t = 0; t < active_.size(); ++t) {
+      int d = assignment[t];
+      if (d >= 0 && cost[t][d] <= 1.0 - config_.iou_threshold) {
+        det_of_track[t] = d;
+        det_used[d] = 1;
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < active_.size(); ++t) {
+    if (det_of_track[t] >= 0) {
+      const detect::Detection& det = *dets[det_of_track[t]];
+      active_[t].filter.Update(det.box);
+      active_[t].boxes.push_back(TrackedBox::FromDetection(det));
+      active_[t].time_since_update = 0;
+    } else {
+      ++active_[t].time_since_update;
+    }
+  }
+
+  // Terminate stale tracks.
+  std::vector<ActiveTrack> survivors;
+  survivors.reserve(active_.size());
+  for (auto& track : active_) {
+    if (track.time_since_update > config_.max_age) {
+      Finalize(track);
+    } else {
+      survivors.push_back(std::move(track));
+    }
+  }
+  active_ = std::move(survivors);
+
+  // Births from unmatched detections.
+  for (std::size_t d = 0; d < dets.size(); ++d) {
+    if (det_used[d]) continue;
+    ActiveTrack track{next_id_++, KalmanBoxFilter(dets[d]->box), {}, 0, {}};
+    track.boxes.push_back(TrackedBox::FromDetection(*dets[d]));
+    active_.push_back(std::move(track));
+  }
+
+  ++frames_observed_;
+}
+
+void StreamingSortTracker::Finish() {
+  if (finished_) return;
+  for (auto& track : active_) Finalize(track);
+  active_.clear();
+  finished_ = true;
+}
+
+std::int32_t StreamingSortTracker::min_active_first_frame() const {
+  std::int32_t min_first = std::numeric_limits<std::int32_t>::max();
+  for (const auto& track : active_) {
+    if (!track.boxes.empty() && track.boxes.front().frame < min_first) {
+      min_first = track.boxes.front().frame;
+    }
+  }
+  return min_first;
+}
+
+TrackingResult SortTracker::Run(const detect::DetectionSequence& detections) {
+  StreamingSortTracker stream(config_, detections.num_frames,
+                              detections.frame_width, detections.frame_height,
+                              detections.fps);
+  for (const auto& frame : detections.frames) stream.Observe(frame);
+  stream.Finish();
+  return stream.result();
 }
 
 }  // namespace tmerge::track

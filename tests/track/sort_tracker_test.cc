@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "tmerge/detect/detection_simulator.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/sim/video_generator.h"
+
 namespace tmerge::track {
 namespace {
 
@@ -181,6 +187,63 @@ TEST_P(SortGapTest, FragmentationThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(GapLengths, SortGapTest,
                          ::testing::Values(1, 3, 5, 6, 8, 15, 30));
+
+// The streaming refactor's identity contract: SortTracker::Run is
+// Observe-all + Finish over StreamingSortTracker, so feeding the same
+// frames incrementally must produce the identical track list — ids, boxes
+// and retirement order included.
+TEST(SortTrackerTest, StreamingMatchesBatch) {
+  sim::SyntheticVideo video = sim::GenerateVideo(
+      sim::ProfileConfig(sim::DatasetProfile::kKittiLike), /*seed=*/13);
+  detect::DetectionSequence detections =
+      detect::SimulateDetections(video, detect::DetectorConfig{}, 13);
+
+  SortTracker batch;
+  TrackingResult batch_result = batch.Run(detections);
+
+  StreamingSortTracker stream(SortConfig{}, detections.num_frames,
+                              detections.frame_width,
+                              detections.frame_height, detections.fps);
+  std::size_t tracks_seen = 0;
+  std::int32_t last_min_active = 0;
+  for (const auto& frame : detections.frames) {
+    stream.Observe(frame);
+    // The finalized prefix only grows, and the min-active watermark is
+    // monotone (births happen at the current frame, never behind it) —
+    // the two invariants the incremental windower closes on.
+    EXPECT_GE(stream.result().tracks.size(), tracks_seen);
+    tracks_seen = stream.result().tracks.size();
+    EXPECT_GE(stream.min_active_first_frame(), last_min_active);
+    last_min_active = stream.min_active_first_frame() ==
+                              std::numeric_limits<std::int32_t>::max()
+                          ? last_min_active
+                          : stream.min_active_first_frame();
+  }
+  stream.Finish();
+  stream.Finish();  // Idempotent.
+
+  const TrackingResult& streamed = stream.result();
+  EXPECT_EQ(streamed.num_frames, batch_result.num_frames);
+  ASSERT_GT(batch_result.tracks.size(), 0u);
+  ASSERT_EQ(streamed.tracks.size(), batch_result.tracks.size());
+  for (std::size_t i = 0; i < batch_result.tracks.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(streamed.tracks[i].id, batch_result.tracks[i].id);
+    ASSERT_EQ(streamed.tracks[i].boxes.size(),
+              batch_result.tracks[i].boxes.size());
+    for (std::size_t b = 0; b < batch_result.tracks[i].boxes.size(); ++b) {
+      EXPECT_EQ(streamed.tracks[i].boxes[b].detection_id,
+                batch_result.tracks[i].boxes[b].detection_id);
+      EXPECT_EQ(streamed.tracks[i].boxes[b].frame,
+                batch_result.tracks[i].boxes[b].frame);
+      EXPECT_EQ(streamed.tracks[i].boxes[b].box.x,
+                batch_result.tracks[i].boxes[b].box.x);
+    }
+  }
+  EXPECT_EQ(stream.active_tracks(), 0u);
+  EXPECT_EQ(stream.min_active_first_frame(),
+            std::numeric_limits<std::int32_t>::max());
+}
 
 }  // namespace
 }  // namespace tmerge::track

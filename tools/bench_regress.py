@@ -7,20 +7,30 @@ Benches print machine-readable lines of the form
 
 (bench/bench_util.h, EmitBenchJson). This tool parses those lines from a
 log file (or stdin), looks each bench up in the committed baseline
-(bench/BENCH_tier1.json by default), and flags every time-like field —
-keys ending in ``_ns`` — that regressed by more than the threshold
-(default 25%).
+(bench/BENCH_tier1.json by default), and compares every field.
 
-Regressions are reported as GitHub-annotation warnings and the exit code
-stays 0: shared CI runners are far too noisy for a hard perf gate, so the
-job is a tripwire, not a blocker. Pass --strict to turn regressions into
-a non-zero exit (for quiet, dedicated hardware). Structural problems —
-unreadable baseline, no BENCH_JSON lines at all, malformed JSON — always
-fail: a perf-smoke job that silently measured nothing is worse than none.
+Two regimes per field, chosen by the baseline itself:
 
-Speedup-style fields (everything not ending in ``_ns``) are compared
-informationally only; they are ratios of two measurements taken on the
-same run and the _ns fields already cover both sides.
+* **Gated** — the bench's baseline entry carries a ``"_tolerance"`` map
+  from field name to a relative tolerance. Those fields are a *blocking*
+  gate: a violation prints a ``::error::`` annotation and the exit code
+  is non-zero regardless of flags. Time-like fields (ending in ``_ns``)
+  gate upward only (``now <= base * (1 + tol)``); all other fields gate
+  in both directions (``|now - base| <= tol * |base|``), so a tolerance
+  of ``0`` demands an exact match — the right setting for output counts
+  that determinism guarantees (windows, pairs), while wall-clock fields
+  get a generous tolerance that only trips on catastrophic regressions.
+  A gated field missing from the run is itself a blocking error.
+
+* **Advisory** — fields without a tolerance entry keep the historical
+  tripwire behavior: ``_ns`` fields regressing beyond ``--threshold``
+  (default 25%) print ``::warning::`` annotations, and the exit stays 0
+  unless ``--strict`` (for quiet, dedicated hardware). Non-``_ns``
+  fields are printed informationally.
+
+Structural problems — unreadable baseline, no BENCH_JSON lines at all,
+malformed JSON — always fail: a perf job that silently measured nothing
+is worse than none.
 """
 
 import argparse
@@ -43,15 +53,32 @@ def parse_bench_lines(stream):
     return benches
 
 
+def check_gated(name, field, base, now, tol):
+    """Returns an error string for a tolerance violation, else None."""
+    if field.endswith("_ns"):
+        bound = base * (1.0 + tol)
+        if now > bound:
+            return (f"{name}.{field} gate: {now:g} ns exceeds "
+                    f"{base:g} * (1 + {tol:g}) = {bound:g} ns")
+        return None
+    denom = abs(base) if base != 0 else 1.0
+    if abs(now - base) > tol * denom:
+        return (f"{name}.{field} gate: {now:g} outside "
+                f"{base:g} +/- {tol:.0%}")
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("log", nargs="?", default="-",
                         help="file with BENCH_JSON lines (default: stdin)")
     parser.add_argument("--baseline", default="bench/BENCH_tier1.json")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="relative regression that triggers a warning")
+                        help="relative regression that triggers an advisory "
+                             "warning on ungated _ns fields")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero when any field regressed")
+                        help="exit non-zero when any advisory field "
+                             "regressed (gated fields always block)")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -66,36 +93,68 @@ def main():
         print("::error::no BENCH_JSON lines found in input")
         return 2
 
-    regressions = 0
-    for name, base_fields in sorted(baseline.items()):
+    gate_failures = 0
+    advisory_regressions = 0
+    for name, entry in sorted(baseline.items()):
+        tolerances = entry.get("_tolerance", {})
+        base_fields = {k: v for k, v in entry.items() if k != "_tolerance"}
         if name not in current:
-            print(f"::warning::bench {name} in baseline but not in run")
+            if tolerances:
+                print(f"::error::gated bench {name} missing from run")
+                gate_failures += 1
+            else:
+                print(f"::warning::bench {name} in baseline but not in run")
             continue
         for field, base in sorted(base_fields.items()):
+            gated = field in tolerances
             if field not in current[name]:
-                print(f"::warning::{name}.{field} missing from run")
+                if gated:
+                    print(f"::error::gated field {name}.{field} missing "
+                          f"from run")
+                    gate_failures += 1
+                else:
+                    print(f"::warning::{name}.{field} missing from run")
                 continue
             now = current[name][field]
+            if gated:
+                error = check_gated(name, field, base, now, tolerances[field])
+                if error:
+                    gate_failures += 1
+                    print(f"::error::{error}")
+                    print(f"{name}.{field}: {base:g} -> {now:g} "
+                          f"[GATE FAILED tol={tolerances[field]:g}]")
+                else:
+                    print(f"{name}.{field}: {base:g} -> {now:g} "
+                          f"[gate ok tol={tolerances[field]:g}]")
+                continue
             if not field.endswith("_ns"):
                 print(f"{name}.{field}: {base:g} -> {now:g}")
                 continue
             ratio = now / base if base > 0 else float("inf")
             marker = ""
             if ratio > 1.0 + args.threshold:
-                regressions += 1
+                advisory_regressions += 1
                 marker = " REGRESSED"
                 print(f"::warning::{name}.{field} regressed "
                       f"{base:g} -> {now:g} ns ({ratio:.2f}x baseline)")
             print(f"{name}.{field}: {base:g} -> {now:g} ns "
                   f"({ratio:.2f}x){marker}")
+        for field in sorted(set(tolerances) - set(base_fields)):
+            print(f"::error::{name}._tolerance names unknown field "
+                  f"{field!r}")
+            gate_failures += 1
     for name in sorted(set(current) - set(baseline)):
         print(f"::notice::bench {name} has no baseline yet")
 
-    if regressions:
-        print(f"{regressions} field(s) regressed beyond "
+    if gate_failures:
+        print(f"{gate_failures} gated field(s) outside tolerance — "
+              f"failing the run")
+        return 1
+    if advisory_regressions:
+        print(f"{advisory_regressions} advisory field(s) regressed beyond "
               f"{args.threshold:.0%} of baseline")
         return 1 if args.strict else 0
-    print("no regressions beyond threshold")
+    print("all gates passed; no advisory regressions beyond threshold")
     return 0
 
 
