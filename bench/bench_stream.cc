@@ -20,6 +20,19 @@
 //   TMERGE_STREAM_TIMEOUT_S  wall-clock watchdog in seconds (default 300)
 //   TMERGE_NUM_THREADS       merge workers (bench_util.h, BenchNumThreads)
 //   TMERGE_FAULT[_SEED]      optional failpoint schedule (InitFaultFromEnv)
+//   TMERGE_TRACE             "1" arms the flight recorder (InitTraceFromEnv)
+//   TMERGE_TRACE_OUT         Chrome-trace output path (default
+//                            bench_stream_trace.json in the cwd)
+//
+// With tracing armed the bench writes a Chrome-trace JSON dump (loadable
+// in chrome://tracing / Perfetto, summarizable with
+// tools/trace_summarize.py) and prints its path as a "TRACE_JSON <path>"
+// line: always at exit, and — the part that matters for CI triage — from
+// the watchdog thread right before it kills a wedged run, so the last
+// seconds of scheduling history survive the crash. The stall watchdog
+// inside StreamService additionally writes its own post-mortem next to
+// the main dump (<trace>_stall.json) the first time a stall force-flush
+// fires.
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +48,8 @@
 
 #include "bench_util.h"
 #include "tmerge/core/table_printer.h"
+#include "tmerge/obs/trace.h"
+#include "tmerge/obs/trace_clock.h"
 #include "tmerge/detect/detection_simulator.h"
 #include "tmerge/merge/pipeline.h"
 #include "tmerge/merge/tmerge.h"
@@ -66,7 +81,12 @@ std::int64_t EnvInt(const char* name, std::int64_t fallback) {
 /// instead of eating the job timeout.
 class Watchdog {
  public:
-  explicit Watchdog(double seconds) {
+  /// `trace_path`: where the flight-recorder post-mortem goes if the
+  /// watchdog fires (no-op unless TMERGE_TRACE armed the recorder). The
+  /// recorder's rings are seqlocks, so snapshotting from this thread is
+  /// safe even while every other thread is wedged mid-write.
+  Watchdog(double seconds, std::string trace_path)
+      : trace_path_(std::move(trace_path)) {
     thread_ = std::thread([this, seconds] {
       std::unique_lock<std::mutex> lock(mutex_);
       if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
@@ -74,6 +94,7 @@ class Watchdog {
         std::cerr << "bench_stream: WATCHDOG expired after " << seconds
                   << "s — the stream wedged (deadlock or stalled "
                      "admission); failing the soak\n";
+        DumpTrace(trace_path_, "watchdog post-mortem");
         std::_Exit(3);
       }
     });
@@ -89,11 +110,25 @@ class Watchdog {
   }
 
  private:
+  const std::string trace_path_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool disarmed_ = false;
   std::thread thread_;
 };
+
+/// Sibling path for StreamService's stall post-mortem: foo.json ->
+/// foo_stall.json, so both dumps land in the same artifact directory.
+std::string StallDumpPath(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path.substr(0, trace_path.size() - suffix.size()) +
+           "_stall.json";
+  }
+  return trace_path + "_stall.json";
+}
 
 struct SoakSetup {
   sim::Dataset dataset;
@@ -144,11 +179,13 @@ merge::SelectorOptions SoakSelectorOptions() {
 /// step, which is what arms the director's stall watchdog.
 stream::StreamResult RunSoak(const SoakSetup& setup,
                              merge::CandidateSelector& selector,
-                             int num_threads) {
+                             int num_threads,
+                             const std::string& stall_dump_path) {
   stream::StreamServiceConfig config;
   config.window = setup.pipeline.window;
   config.selector = SoakSelectorOptions();
   config.num_threads = num_threads;
+  config.stall_post_mortem_path = stall_dump_path;
   // Tight on purpose, and scaled to the fleet. KITTI-like windows carry
   // ~10 pairs, so a min-batch threshold above a full 4-window job (~40
   // pairs) defers every mid-stream merge; pending pairs then accumulate
@@ -255,6 +292,8 @@ int CheckDeterminism(const SoakSetup& setup,
 int Run(bool check_determinism) {
   InitObsFromEnv();
   InitFaultFromEnv();
+  bool tracing = InitTraceFromEnv();
+  std::string trace_path = TraceOutputPath("bench_stream_trace.json");
   std::int32_t cameras =
       static_cast<std::int32_t>(EnvInt("TMERGE_STREAM_CAMERAS", 100));
   std::int32_t frames =
@@ -266,19 +305,20 @@ int Run(bool check_determinism) {
   std::cout << "bench_stream: " << cameras << " cameras x " << frames
             << " frames, merge workers=" << num_threads
             << " (0 = hardware), watchdog=" << timeout_s << "s"
-            << (check_determinism ? ", determinism check on" : "") << "\n";
+            << (check_determinism ? ", determinism check on" : "")
+            << (tracing ? ", tracing on" : "") << "\n";
 
-  Watchdog watchdog(timeout_s);
+  Watchdog watchdog(timeout_s, trace_path);
   SoakSetup setup = BuildSetup(cameras, frames);
 
   merge::TMergeOptions tmerge_options;
   merge::TMergeSelector selector(tmerge_options);
 
-  auto start = std::chrono::steady_clock::now();
-  stream::StreamResult result = RunSoak(setup, selector, num_threads);
+  std::int64_t start_ns = obs::TraceClockNanos();
+  stream::StreamResult result =
+      RunSoak(setup, selector, num_threads, StallDumpPath(trace_path));
   double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      obs::TraceClockSecondsBetween(start_ns, obs::TraceClockNanos());
 
   std::vector<double> latencies;
   for (const auto& camera : result.cameras) {
@@ -351,6 +391,20 @@ int Run(bool check_determinism) {
               << static_cast<std::int64_t>(cameras) * frames << "\n";
     ++failures;
   }
+
+  // Dump before the determinism re-run: the batch reference pipeline is
+  // instrumented too, and letting it run with the recorder armed laps the
+  // per-thread rings and evicts the soak-era events this artifact exists
+  // to hold. Stopping the recorder freezes the flight recording (buffered
+  // events stay readable for the watchdog, should it still fire). The
+  // success-path artifact is what the CI trace-smoke leg validates and
+  // what tools/trace_summarize.py reads; the failure-path dump is the
+  // post-mortem next to the BENCH_JSON numbers. A determinism divergence
+  // found below still fails the run, and the soak trace on disk is the
+  // recording that matters for it.
+  DumpTrace(trace_path,
+            failures == 0 ? "stream soak" : "soak-failure post-mortem");
+  obs::TraceRecorder::Default().Stop();
 
   if (check_determinism) {
     int divergent = CheckDeterminism(setup, selector, result, num_threads);

@@ -13,6 +13,7 @@
 #include "tmerge/fault/registry.h"
 #include "tmerge/obs/export.h"
 #include "tmerge/obs/metrics.h"
+#include "tmerge/obs/trace.h"
 #include "tmerge/merge/baseline.h"
 #include "tmerge/merge/lcb.h"
 #include "tmerge/merge/proportional.h"
@@ -121,6 +122,46 @@ void InitFaultFromEnv() {
   }
 }
 
+bool InitTraceFromEnv() {
+  const char* env = std::getenv("TMERGE_TRACE");
+  if (env == nullptr || std::strcmp(env, "0") == 0) return false;
+  if (std::strcmp(env, "1") == 0) {
+    obs::TraceRecorder::Default().Start();
+    return true;
+  }
+  // Strict on purpose (TMERGE_OBS policy): a typo must never silently
+  // decide whether a bench runs with the flight recorder armed.
+  std::fprintf(stderr,
+               "bench: ignoring invalid TMERGE_TRACE=\"%s\" (want 0 or 1); "
+               "tracing stays off (the default)\n",
+               env);
+  return false;
+}
+
+std::string TraceOutputPath(const std::string& fallback) {
+  const char* env = std::getenv("TMERGE_TRACE_OUT");
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
+bool DumpTrace(const std::string& path, const char* why) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  if (!recorder.recording()) return false;
+  obs::TraceSnapshot snapshot = recorder.Snapshot();
+  if (!obs::WriteChromeTraceFile(path, snapshot)) {
+    std::fprintf(stderr, "bench: failed to write %s trace to %s\n", why,
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: %s trace written (%zu events, %lld recorded)\n",
+               why, snapshot.events.size(),
+               static_cast<long long>(snapshot.total_recorded));
+  // Flushed immediately: the watchdog dump is followed by _Exit, which
+  // skips stdio teardown.
+  std::cout << "TRACE_JSON " << path << "\n" << std::flush;
+  return true;
+}
+
 void EmitObsSnapshot(const std::string& bench_name) {
   if (!obs::Enabled()) {
     std::cout << "(obs disabled: no instrumentation snapshot for "
@@ -151,6 +192,7 @@ BenchEnv PrepareEnvWithWindow(sim::DatasetProfile profile,
                               std::uint64_t seed, int num_threads) {
   InitObsFromEnv();
   InitFaultFromEnv();
+  InitTraceFromEnv();
   BenchEnv env;
   env.name = sim::DatasetProfileName(profile);
   env.dataset = std::make_unique<sim::Dataset>(

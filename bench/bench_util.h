@@ -59,6 +59,27 @@ void InitObsFromEnv();
 /// run a bench with the wrong fault schedule. Called by PrepareEnv*.
 void InitFaultFromEnv();
 
+/// Applies the TMERGE_TRACE environment variable to the default flight
+/// recorder (obs/trace.h): "1" starts it (clears the rings and enables
+/// recording), unset or "0" leaves it stopped. Tracing is opt-in, unlike
+/// TMERGE_OBS metrics — the recorder buffers every instrumented event and
+/// benches should only pay for that when someone wants the trace. Strict
+/// parsing like the other knobs; an invalid value warns and stays off.
+/// Returns whether recording ended up on. Called by PrepareEnv*.
+bool InitTraceFromEnv();
+
+/// The path benches write Chrome-trace JSON to: TMERGE_TRACE_OUT when set
+/// and non-empty, otherwise `fallback`.
+std::string TraceOutputPath(const std::string& fallback);
+
+/// Snapshots the default flight recorder and writes Chrome trace-event
+/// JSON to `path`, then prints one machine-readable "TRACE_JSON <path>"
+/// line so CI jobs and humans reading a failed log can find the artifact.
+/// `why` labels the dump on stderr ("stream soak", "watchdog
+/// post-mortem", ...). Returns false — without printing TRACE_JSON — when
+/// the recorder is not recording or the file cannot be written.
+bool DumpTrace(const std::string& path, const char* why);
+
 /// Prints one machine-readable "OBS_JSON {...}" line: the default
 /// registry's snapshot wrapped with the bench name, next to the bench's
 /// BENCH_JSON numbers. No-op (with a notice) when instrumentation is

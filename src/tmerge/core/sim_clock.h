@@ -1,8 +1,9 @@
 #ifndef TMERGE_CORE_SIM_CLOCK_H_
 #define TMERGE_CORE_SIM_CLOCK_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "tmerge/obs/trace_clock.h"
 
 namespace tmerge::core {
 
@@ -32,21 +33,22 @@ class SimClock {
 };
 
 /// Simple wall-clock stopwatch for reporting real bookkeeping overhead
-/// alongside simulated model time.
+/// alongside simulated model time. Reads the obs trace clock — the one
+/// sanctioned wall-clock source — so the lint steady_clock allowlist stays
+/// a single header.
 class WallTimer {
  public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  WallTimer() : start_ns_(obs::TraceClockNanos()) {}
 
   /// Seconds elapsed since construction or the last Restart().
   double Seconds() const {
-    auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - start_).count();
+    return obs::TraceClockSecondsBetween(start_ns_, obs::TraceClockNanos());
   }
 
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  void Restart() { start_ns_ = obs::TraceClockNanos(); }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace tmerge::core

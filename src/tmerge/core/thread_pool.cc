@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
@@ -32,16 +31,14 @@ std::function<void()> InstrumentTask(std::function<void()> task) {
       registry.GetHistogram("core.pool.queue_wait.seconds");
   static obs::Histogram& busy =
       registry.GetHistogram("core.pool.busy.seconds");
-  auto enqueued = std::chrono::steady_clock::now();
-  return [task = std::move(task), enqueued] {
-    auto started = std::chrono::steady_clock::now();
-    queue_wait.Record(
-        std::chrono::duration<double>(started - enqueued).count());
+  std::int64_t enqueued_ns = obs::TraceClockNanos();
+  return [task = std::move(task), enqueued_ns] {
+    std::int64_t started_ns = obs::TraceClockNanos();
+    queue_wait.Record(obs::TraceClockSecondsBetween(enqueued_ns, started_ns));
     tasks.Add();
     task();
-    busy.Record(std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - started)
-                    .count());
+    busy.Record(
+        obs::TraceClockSecondsBetween(started_ns, obs::TraceClockNanos()));
   };
 }
 

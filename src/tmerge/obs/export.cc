@@ -14,11 +14,15 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-// Metric names are dotted lowercase identifiers (no quotes/backslashes/
-// control characters), so JSON escaping reduces to quoting.
+// Metric names are dotted lowercase identifiers, optionally carrying a
+// LabeledName `{key="value"}` suffix whose values may embed quotes and
+// backslashes — escape both for JSON.
 void AppendQuoted(std::string& out, const std::string& name) {
   out += '"';
-  out += name;
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
   out += '"';
 }
 
@@ -30,6 +34,49 @@ std::string PrometheusName(const std::string& name) {
     mangled += ok ? c : '_';
   }
   return mangled;
+}
+
+// A registry name split for Prometheus exposition: the mangled base plus
+// the raw label block (sans braces, already escaped by LabeledName).
+struct PromParts {
+  std::string name;
+  std::string labels;
+};
+
+PromParts SplitLabels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return PromParts{PrometheusName(name), ""};
+  }
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return PromParts{PrometheusName(name.substr(0, brace)), std::move(labels)};
+}
+
+// `base{labels}` or bare `base`.
+void WritePromSeries(std::ostream& os, const PromParts& parts,
+                     const std::string& suffix) {
+  os << parts.name << suffix;
+  if (!parts.labels.empty()) os << "{" << parts.labels << "}";
+}
+
+// Bucket series need `le` merged into the label block.
+void WritePromBucket(std::ostream& os, const PromParts& parts,
+                     const std::string& le) {
+  os << parts.name << "_bucket{";
+  if (!parts.labels.empty()) os << parts.labels << ",";
+  os << "le=\"" << le << "\"}";
+}
+
+// One `# TYPE` line per family: labeled variants of a metric sort
+// adjacently in the snapshot's name-ordered map ('{' compares above every
+// name character used in bases), so suppressing repeats is a one-token
+// memo.
+void WritePromType(std::ostream& os, const PromParts& parts,
+                   const char* type, std::string& last_family) {
+  if (parts.name == last_family) return;
+  os << "# TYPE " << parts.name << " " << type << "\n";
+  last_family = parts.name;
 }
 
 }  // namespace
@@ -84,31 +131,36 @@ std::string SnapshotToJson(const RegistrySnapshot& snapshot) {
 
 std::string SnapshotToPrometheus(const RegistrySnapshot& snapshot) {
   std::ostringstream os;
+  std::string last_family;
   for (const auto& [name, value] : snapshot.counters) {
-    std::string prom = PrometheusName(name);
-    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+    PromParts parts = SplitLabels(name);
+    WritePromType(os, parts, "counter", last_family);
+    WritePromSeries(os, parts, "");
+    os << " " << value << "\n";
   }
+  last_family.clear();
   for (const auto& [name, value] : snapshot.gauges) {
-    std::string prom = PrometheusName(name);
-    os << "# TYPE " << prom << " gauge\n"
-       << prom << " " << FormatDouble(value) << "\n";
+    PromParts parts = SplitLabels(name);
+    WritePromType(os, parts, "gauge", last_family);
+    WritePromSeries(os, parts, "");
+    os << " " << FormatDouble(value) << "\n";
   }
+  last_family.clear();
   for (const auto& [name, hist] : snapshot.histograms) {
-    std::string prom = PrometheusName(name);
-    os << "# TYPE " << prom << " histogram\n";
+    PromParts parts = SplitLabels(name);
+    WritePromType(os, parts, "histogram", last_family);
     std::int64_t cumulative = 0;
     for (std::size_t b = 0; b < hist.bucket_counts.size(); ++b) {
       cumulative += hist.bucket_counts[b];
-      os << prom << "_bucket{le=\"";
-      if (b < hist.bounds.size()) {
-        os << FormatDouble(hist.bounds[b]);
-      } else {
-        os << "+Inf";
-      }
-      os << "\"} " << cumulative << "\n";
+      WritePromBucket(os, parts,
+                      b < hist.bounds.size() ? FormatDouble(hist.bounds[b])
+                                             : "+Inf");
+      os << " " << cumulative << "\n";
     }
-    os << prom << "_sum " << FormatDouble(hist.sum) << "\n"
-       << prom << "_count " << hist.count << "\n";
+    WritePromSeries(os, parts, "_sum");
+    os << " " << FormatDouble(hist.sum) << "\n";
+    WritePromSeries(os, parts, "_count");
+    os << " " << hist.count << "\n";
   }
   return os.str();
 }

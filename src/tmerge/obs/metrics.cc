@@ -170,4 +170,33 @@ MetricsRegistry& DefaultRegistry() {
   return *registry;
 }
 
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels) {
+  if (labels.empty()) return base;
+  std::string name = base;
+  name += '{';
+  bool first = true;
+  for (const MetricLabel& label : labels) {
+    if (!first) name += ',';
+    first = false;
+    name += label.key;
+    name += "=\"";
+    for (char c : label.value) {
+      // Prometheus label-value escaping (backslash, quote, newline); the
+      // JSON exporter re-escapes on output, so values round-trip there too.
+      if (c == '\\' || c == '"') {
+        name += '\\';
+        name += c;
+      } else if (c == '\n') {
+        name += "\\n";
+      } else {
+        name += c;
+      }
+    }
+    name += '"';
+  }
+  name += '}';
+  return name;
+}
+
 }  // namespace tmerge::obs

@@ -218,6 +218,30 @@ class MetricsRegistry {
 /// The process-wide registry all built-in instrumentation records into.
 MetricsRegistry& DefaultRegistry();
 
+/// One metric label (Prometheus key/value pair). Keys must be
+/// `[a-zA-Z_][a-zA-Z0-9_]*`; values are arbitrary (quotes and backslashes
+/// are escaped on formatting).
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+/// Builds a labeled metric name: the base name plus a canonical
+/// `{key="value",...}` suffix, e.g.
+///
+///   LabeledName("stream.camera.queued_frames", {{"camera", "3"}})
+///     == "stream.camera.queued_frames{camera=\"3\"}"
+///
+/// The result is an ordinary registry name — labeled variants of a metric
+/// are independent Counter/Gauge/Histogram instances — but the exporters
+/// understand the suffix: SnapshotToPrometheus mangles only the base and
+/// emits the label block natively (merging `le` for histogram buckets),
+/// and SnapshotToJson escapes the embedded quotes. Labels are emitted in
+/// the order given; call sites should pick one order per family so
+/// variants sort adjacently.
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels);
+
 }  // namespace tmerge::obs
 
 #endif  // TMERGE_OBS_METRICS_H_

@@ -1,22 +1,35 @@
 #ifndef TMERGE_OBS_SPAN_H_
 #define TMERGE_OBS_SPAN_H_
 
-#include <chrono>
-
 #include "tmerge/obs/metrics.h"
+#include "tmerge/obs/trace.h"
+#include "tmerge/obs/trace_clock.h"
 
 namespace tmerge::obs {
 
 /// RAII scoped timer recording its lifetime into a duration histogram
-/// (count, sum of seconds, latency distribution in one metric). Arms only
-/// if instrumentation is enabled at construction; a disarmed span does no
+/// (count, sum of seconds, latency distribution in one metric) and — when
+/// the flight recorder is capturing — emitting a begin/end trace pair
+/// under the same name, so every TMERGE_SPAN site shows up on the
+/// chrome://tracing timeline for free. Metrics and tracing arm
+/// independently at construction (obs::Enabled() vs
+/// TraceRecorder::Default().recording()); a fully disarmed span does no
 /// clock reads and records nothing.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(Histogram& histogram) {
+  explicit ScopedSpan(Histogram& histogram, const char* trace_name = nullptr) {
     if (Enabled()) {
       histogram_ = &histogram;
-      start_ = std::chrono::steady_clock::now();
+    }
+    if (trace_name != nullptr && TraceRecorder::Default().recording()) {
+      trace_name_ = trace_name;
+    }
+    if (histogram_ != nullptr || trace_name_ != nullptr) {
+      start_ns_ = TraceClockNanos();
+    }
+    if (trace_name_ != nullptr) {
+      TraceRecorder::Default().RecordAt(start_ns_, trace_name_,
+                                        TracePhase::kBegin);
     }
   }
 
@@ -28,18 +41,25 @@ class ScopedSpan {
   /// Records now, disarms, and returns the measured seconds (0.0 if the
   /// span never armed or was already stopped).
   double Stop() {
-    if (histogram_ == nullptr) return 0.0;
-    double seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start_)
-                         .count();
-    histogram_->Record(seconds);
-    histogram_ = nullptr;
+    if (histogram_ == nullptr && trace_name_ == nullptr) return 0.0;
+    std::int64_t end_ns = TraceClockNanos();
+    double seconds = TraceClockSecondsBetween(start_ns_, end_ns);
+    if (histogram_ != nullptr) {
+      histogram_->Record(seconds);
+      histogram_ = nullptr;
+    }
+    if (trace_name_ != nullptr) {
+      TraceRecorder::Default().RecordAt(end_ns, trace_name_,
+                                        TracePhase::kEnd);
+      trace_name_ = nullptr;
+    }
     return seconds;
   }
 
  private:
   Histogram* histogram_ = nullptr;
-  std::chrono::steady_clock::time_point start_;
+  const char* trace_name_ = nullptr;
+  std::int64_t start_ns_ = 0;
 };
 
 }  // namespace tmerge::obs
@@ -64,14 +84,15 @@ class ScopedSpan {
 
 /// Times the enclosing scope into the default registry's duration
 /// histogram named `name` (a string literal; the metric is looked up once
-/// per site via a static local).
+/// per site via a static local) and, when the flight recorder is
+/// capturing, emits a begin/end trace pair under the same name.
 #define TMERGE_SPAN(name)                                                  \
   static ::tmerge::obs::Histogram& TMERGE_OBS_CONCAT(tmerge_span_metric_,  \
                                                      __LINE__) =           \
       ::tmerge::obs::DefaultRegistry().GetHistogram(                       \
           (name), ::tmerge::obs::DurationBounds());                        \
   ::tmerge::obs::ScopedSpan TMERGE_OBS_CONCAT(tmerge_span_, __LINE__)(     \
-      TMERGE_OBS_CONCAT(tmerge_span_metric_, __LINE__))
+      TMERGE_OBS_CONCAT(tmerge_span_metric_, __LINE__), (name))
 
 /// Wraps instrumentation-only statements so they vanish under
 /// TMERGE_OBS_DISABLED.

@@ -1,0 +1,35 @@
+#ifndef TMERGE_OBS_TRACE_CLOCK_H_
+#define TMERGE_OBS_TRACE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tmerge::obs {
+
+/// The one wall-clock read in the tree. Every real-time measurement —
+/// trace events, span histograms, WallTimer, the thread pool's queue-wait
+/// instrumentation — flows through this helper, and the repo linter
+/// (tools/tmerge_lint.py) confines `steady_clock` to this header. That
+/// keeps the determinism audit trivial: simulated results must never
+/// depend on a value returned from here, and any new wall-clock read has
+/// to either route through this function or argue its case in the lint
+/// allowlist.
+///
+/// Returns monotonic nanoseconds from an arbitrary epoch (steady_clock's):
+/// only differences are meaningful. Trace exports normalize to the
+/// earliest event so Chrome/Perfetto timelines start at zero.
+inline std::int64_t TraceClockNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds between two TraceClockNanos() readings.
+inline double TraceClockSecondsBetween(std::int64_t start_ns,
+                                       std::int64_t end_ns) {
+  return static_cast<double>(end_ns - start_ns) * 1e-9;
+}
+
+}  // namespace tmerge::obs
+
+#endif  // TMERGE_OBS_TRACE_CLOCK_H_

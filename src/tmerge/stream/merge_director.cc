@@ -31,6 +31,7 @@ void MergeDirector::NoteIngestDeferred(double now_seconds) {
         DirectorCounter("stream.director.ingest_deferred");
     deferred.Add();
   });
+  TMERGE_TRACE_INSTANT("stream.director.ingest_defer", now_seconds);
   if (blocked_since_seconds_ < 0.0) {
     blocked_since_seconds_ = now_seconds;
     return;
@@ -39,11 +40,14 @@ void MergeDirector::NoteIngestDeferred(double now_seconds) {
       now_seconds - blocked_since_seconds_ >= config_.stall_timeout_seconds) {
     stall_flush_ = true;
     ++force_flushes_;
+    ++stall_flushes_;
     TMERGE_OBS({
       static obs::Counter& flushes =
           DirectorCounter("stream.director.force_flushes");
       flushes.Add();
     });
+    TMERGE_TRACE_INSTANT("stream.director.force_flush", now_seconds,
+                         {"stall", 1});
   }
 }
 
@@ -104,6 +108,8 @@ bool MergeDirector::CanScheduleMergeJob(std::int64_t pending_pairs) {
           DirectorCounter("stream.director.merge_deferred");
       counter.Add();
     });
+    TMERGE_TRACE_INSTANT("stream.director.merge_defer",
+                         obs::kTraceNoSimTime, {"pairs", pending_pairs});
     return false;
   }
   ++merge_admitted_;
@@ -139,6 +145,8 @@ void MergeDirector::OnStreamCompleted() {
           DirectorCounter("stream.director.force_flushes");
       flushes.Add();
     });
+    TMERGE_TRACE_INSTANT("stream.director.force_flush",
+                         obs::kTraceNoSimTime, {"stall", 0});
   }
 }
 
@@ -158,6 +166,7 @@ MergeDirectorStats MergeDirector::stats() const {
   stats.merge_jobs_admitted = merge_admitted_;
   stats.merge_jobs_deferred = merge_deferred_;
   stats.force_flushes = force_flushes_;
+  stats.stall_flushes = stall_flushes_;
   stats.force_flush = stream_completed_ || stall_flush_;
   return stats;
 }

@@ -41,6 +41,11 @@ struct MergeDirectorStats {
   std::int64_t merge_jobs_admitted = 0;
   std::int64_t merge_jobs_deferred = 0;
   std::int64_t force_flushes = 0;
+  /// The subset of force_flushes triggered by the stall watchdog (as
+  /// opposed to end-of-stream): a nonzero value means ingest was wedged on
+  /// the pair budget for stall_timeout_seconds of sim time — the signal
+  /// StreamService's flight-recorder post-mortem dump keys on.
+  std::int64_t stall_flushes = 0;
   bool force_flush = false;
 };
 
@@ -153,6 +158,7 @@ class MergeDirector {
   std::int64_t merge_admitted_ TMERGE_GUARDED_BY(mutex_) = 0;
   std::int64_t merge_deferred_ TMERGE_GUARDED_BY(mutex_) = 0;
   std::int64_t force_flushes_ TMERGE_GUARDED_BY(mutex_) = 0;
+  std::int64_t stall_flushes_ TMERGE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tmerge::stream

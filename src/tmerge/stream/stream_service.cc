@@ -1,6 +1,7 @@
 #include "tmerge/stream/stream_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <unordered_set>
 #include <utility>
@@ -10,8 +11,17 @@
 #include "tmerge/merge/pair_store.h"
 #include "tmerge/obs/metrics.h"
 #include "tmerge/obs/span.h"
+#include "tmerge/obs/trace.h"
 
 namespace tmerge::stream {
+
+namespace {
+
+/// Newest events per thread kept in a stall post-mortem dump: enough to
+/// see the full defer/flush run-up without dumping a whole soak's rings.
+constexpr std::size_t kPostMortemEventsPerThread = 2048;
+
+}  // namespace
 
 #ifndef TMERGE_OBS_DISABLED
 namespace {
@@ -65,6 +75,19 @@ std::int32_t StreamService::AddCamera(const CameraConfig& camera) {
   std::int32_t id = static_cast<std::int32_t>(cameras_.size());
   cameras_.push_back(
       std::make_unique<CameraState>(id, camera, config_.window));
+#ifndef TMERGE_OBS_DISABLED
+  // Per-camera series share one family name and differ only in the
+  // `camera` label, so the Prometheus exporter emits them natively
+  // (stream_camera_queued_frames{camera="3"}) without name-mangling.
+  CameraState& state = *cameras_.back();
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  std::vector<obs::MetricLabel> labels{{"camera", std::to_string(id)}};
+  state.latency_hist = &registry.GetHistogram(
+      obs::LabeledName("stream.camera.ingest_to_result.seconds", labels),
+      obs::DurationBounds());
+  state.queue_gauge = &registry.GetGauge(
+      obs::LabeledName("stream.camera.queued_frames", labels));
+#endif  // TMERGE_OBS_DISABLED
   ++open_cameras_;
   return id;
 }
@@ -137,6 +160,8 @@ IngestOutcome StreamService::IngestFrame(std::int32_t camera_id,
       } else {
         camera.frame_queue.push_back(frame);
       }
+      TMERGE_TRACE_INSTANT("stream.frame.enqueue", now_seconds,
+                           {"camera", camera_id}, {"frame", frame.frame});
       ++camera.frames_ingested;
       ++queued_frames_;
       peak_queued_frames_ = std::max(peak_queued_frames_, queued_frames_);
@@ -149,6 +174,7 @@ IngestOutcome StreamService::IngestFrame(std::int32_t camera_id,
     jobs = PumpLocked(now_seconds);
   }
   Dispatch(std::move(jobs));
+  MaybeWriteStallPostMortem();
   return outcome;
 }
 
@@ -167,6 +193,7 @@ void StreamService::CloseCamera(std::int32_t camera_id, double now_seconds) {
     jobs = PumpLocked(now_seconds);
   }
   Dispatch(std::move(jobs));
+  MaybeWriteStallPostMortem();
 }
 
 void StreamService::DrainCameraLocked(CameraState& camera,
@@ -179,11 +206,19 @@ void StreamService::DrainCameraLocked(CameraState& camera,
     detect::DetectionFrame frame = std::move(camera.frame_queue.front());
     camera.frame_queue.pop_front();
     --queued_frames_;
-    camera.tracker.Observe(frame);
-    std::vector<merge::WindowPairs> closed = camera.windower.Advance(
-        camera.tracker.result().tracks, camera.tracker.frames_observed(),
-        camera.tracker.min_active_first_frame());
-    EnqueueClosedLocked(camera, std::move(closed), now_seconds);
+    TMERGE_TRACE_INSTANT("stream.frame.dequeue", now_seconds,
+                         {"camera", camera.camera_id},
+                         {"frame", frame.frame});
+    {
+      TMERGE_TRACE_SCOPE("stream.frame.ingest", now_seconds,
+                         {"camera", camera.camera_id},
+                         {"frame", frame.frame});
+      camera.tracker.Observe(frame);
+      std::vector<merge::WindowPairs> closed = camera.windower.Advance(
+          camera.tracker.result().tracks, camera.tracker.frames_observed(),
+          camera.tracker.min_active_first_frame());
+      EnqueueClosedLocked(camera, std::move(closed), now_seconds);
+    }
     // Release the estimate reservation; actual pair counts were reported
     // above via OnMergeInputProcessed (they may differ in either
     // direction, as in the auto-merge scenario this models).
@@ -207,6 +242,9 @@ void StreamService::EnqueueClosedLocked(
     CameraState& camera, std::vector<merge::WindowPairs> closed,
     double now_seconds) {
   for (merge::WindowPairs& window : closed) {
+    TMERGE_TRACE_SCOPE("stream.window.close", now_seconds,
+                       {"camera", camera.camera_id},
+                       {"window", window.window_index});
     TMERGE_OBS({
       static obs::Counter& counter = StreamCounter("stream.windows_closed");
       counter.Add();
@@ -238,6 +276,10 @@ bool StreamService::ScheduleCameraJobLocked(CameraState& camera,
   if (!director_.CanScheduleMergeJob(total_pairs)) return false;
   director_.OnMergeJobStarted(total_pairs);
   camera.job_inflight = true;
+  // Brackets the admitted job's build (window batch + track copies) so
+  // the timeline shows where admission happened and what it cost.
+  TMERGE_TRACE_SCOPE("stream.director.admit", now_seconds,
+                     {"camera", camera.camera_id}, {"pairs", total_pairs});
 
   job.camera_id = camera.camera_id;
   job.camera = &camera;
@@ -275,6 +317,8 @@ bool StreamService::ScheduleCameraJobLocked(CameraState& camera,
     static obs::Counter& counter = StreamCounter("stream.merge_jobs");
     counter.Add();
   });
+  TMERGE_TRACE_INSTANT("stream.merge_job.submit", now_seconds,
+                       {"camera", camera.camera_id}, {"windows", batch});
   return true;
 }
 
@@ -295,6 +339,8 @@ std::vector<StreamService::MergeJob> StreamService::PumpLocked(
       static obs::Gauge& open_windows =
           registry.GetGauge("stream.open_windows");
       static obs::Gauge& pending = registry.GetGauge("stream.pending_pairs");
+      static obs::Gauge& inflight =
+          registry.GetGauge("stream.inflight_merge_jobs");
       queued.Set(static_cast<double>(queued_frames_));
       std::int64_t open = 0;
       for (const auto& camera : cameras_) {
@@ -302,9 +348,57 @@ std::vector<StreamService::MergeJob> StreamService::PumpLocked(
       }
       open_windows.Set(static_cast<double>(open));
       pending.Set(static_cast<double>(director_.stats().pending_pairs));
+      inflight.Set(static_cast<double>(inflight_jobs_));
+      for (const auto& camera : cameras_) {
+        if (camera->queue_gauge != nullptr) {
+          camera->queue_gauge->Set(
+              static_cast<double>(camera->frame_queue.size()));
+        }
+      }
+    }
+    if (obs::TraceRecorder::Default().recording()) {
+      obs::TraceCounter("stream.queued_frames", queued_frames_, now_seconds);
+      obs::TraceCounter("stream.inflight_merge_jobs", inflight_jobs_,
+                        now_seconds);
+      obs::TraceCounter("stream.pending_pairs",
+                        director_.stats().pending_pairs, now_seconds);
+      // First stall flush with a post-mortem path configured: arm the dump
+      // (written by the caller once the mutex is released).
+      if (!stall_dump_written_ && !stall_dump_pending_ &&
+          !config_.stall_post_mortem_path.empty() &&
+          director_.stats().stall_flushes > 0) {
+        stall_dump_pending_ = true;
+      }
     }
   });
   return jobs;
+}
+
+void StreamService::MaybeWriteStallPostMortem() {
+  bool write = false;
+  {
+    core::MutexLock lock(mutex_);
+    if (stall_dump_pending_ && !stall_dump_written_) {
+      stall_dump_written_ = true;
+      write = true;
+    }
+    stall_dump_pending_ = false;
+  }
+  if (!write) return;
+  obs::TraceSnapshot snapshot =
+      obs::TraceRecorder::Default().Snapshot(kPostMortemEventsPerThread);
+  if (obs::WriteChromeTraceFile(config_.stall_post_mortem_path, snapshot)) {
+    std::fprintf(stderr,
+                 "stream: stall watchdog fired; flight-recorder post-mortem "
+                 "written to %s (%zu events)\n",
+                 config_.stall_post_mortem_path.c_str(),
+                 snapshot.events.size());
+  } else {
+    std::fprintf(stderr,
+                 "stream: stall watchdog fired but post-mortem write to %s "
+                 "failed\n",
+                 config_.stall_post_mortem_path.c_str());
+  }
 }
 
 void StreamService::Dispatch(std::vector<MergeJob> jobs) {
@@ -340,9 +434,20 @@ void StreamService::ExecuteChain(MergeJob job) {
     std::vector<WindowOutcome> outcomes = RunMergeJob(current);
     std::vector<MergeJob> next;
     {
+      TMERGE_TRACE_SCOPE("stream.merge_job.reduce", obs::kTraceNoSimTime,
+                         {"camera", current.camera_id});
       core::MutexLock lock(mutex_);
       CameraState& camera = *current.camera;
       for (WindowOutcome& outcome : outcomes) {
+        // Service-side ingest-to-result latency, per camera and fleet-wide.
+        if (camera.latency_hist != nullptr) {
+          camera.latency_hist->Record(outcome.latency_seconds);
+        }
+        TMERGE_OBS({
+          static obs::Histogram& latency = obs::DefaultRegistry().GetHistogram(
+              "stream.ingest_to_result.seconds");
+          latency.Record(outcome.latency_seconds);
+        });
         camera.outcomes.push_back(std::move(outcome));
       }
       camera.job_inflight = false;
@@ -375,6 +480,10 @@ void StreamService::ExecuteChain(MergeJob job) {
 std::vector<StreamService::WindowOutcome> StreamService::RunMergeJob(
     MergeJob& job) {
   TMERGE_SPAN("stream.merge_job.seconds");
+  TMERGE_TRACE_SCOPE("stream.merge_job.run", job.admit_seconds,
+                     {"camera", job.camera_id},
+                     {"windows",
+                      static_cast<std::int64_t>(job.windows.size())});
   std::vector<WindowOutcome> outcomes;
   outcomes.reserve(job.windows.size());
   for (PendingWindow& pending : job.windows) {
@@ -390,6 +499,9 @@ std::vector<StreamService::WindowOutcome> StreamService::RunMergeJob(
         static_cast<std::int64_t>(pending.window.pairs.size());
     {
       TMERGE_SPAN("stream.select.seconds");
+      TMERGE_TRACE_SCOPE("stream.merge_job.select", job.admit_seconds,
+                         {"camera", job.camera_id},
+                         {"window", pending.window.window_index});
       outcome.selection = selector_.Select(context, *job.camera->config.model,
                                            job.camera->cache, options);
     }
@@ -438,6 +550,7 @@ StreamResult StreamService::Finish(double now_seconds) {
       }
     }
     Dispatch(std::move(jobs));
+    MaybeWriteStallPostMortem();
   }
 
   core::MutexLock lock(mutex_);

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tmerge/core/mutex.h"
+#include "tmerge/obs/metrics.h"
 #include "tmerge/core/thread_annotations.h"
 #include "tmerge/core/thread_pool.h"
 #include "tmerge/detect/detection_simulator.h"
@@ -46,6 +48,13 @@ struct StreamServiceConfig {
   std::int64_t ingest_pair_estimate = 16;
   /// Cap on closed windows batched into one merge job.
   std::int32_t max_windows_per_merge_job = 4;
+  /// When non-empty and the flight recorder is capturing
+  /// (obs::TraceRecorder::Default().recording()), the first stall-watchdog
+  /// force-flush writes a Chrome-trace post-mortem — the recorder's most
+  /// recent events per thread — to this path, once per service. The write
+  /// happens outside the service mutex; an I/O failure warns on stderr and
+  /// is otherwise ignored (post-mortems must never take the service down).
+  std::string stall_post_mortem_path;
 };
 
 /// One camera's stream registration.
@@ -253,6 +262,12 @@ class StreamService {
     std::vector<WindowOutcome> outcomes;
     std::int64_t frames_ingested = 0;
     std::int64_t frames_dropped = 0;
+    /// Per-camera ingest-to-result latency histogram and queue-depth
+    /// gauge, registered under obs::LabeledName(..., {{"camera", id}}) at
+    /// AddCamera time. Null when compiled with TMERGE_OBS_DISABLED;
+    /// updates self-gate on obs::Enabled() either way.
+    obs::Histogram* latency_hist = nullptr;
+    obs::Gauge* queue_gauge = nullptr;
 
     CameraState(std::int32_t id, const CameraConfig& camera,
                 const merge::WindowConfig& window);
@@ -300,6 +315,12 @@ class StreamService {
   /// Ordered (camera, then window) reduction into the final result.
   StreamResult BuildResultLocked() TMERGE_REQUIRES(mutex_);
 
+  /// Writes the flight-recorder post-mortem if a stall flush was detected
+  /// (PumpLocked sets the pending flag) and one hasn't been written yet.
+  /// Called from the public entry points after the mutex is released —
+  /// the dump itself (snapshot + file write) never holds the service lock.
+  void MaybeWriteStallPostMortem() TMERGE_EXCLUDES(mutex_);
+
   const StreamServiceConfig config_;
   /// ingest_pair_estimate clamped into [1, max_intermediate_pairs]: an
   /// estimate larger than the whole budget could never be admitted and
@@ -323,6 +344,11 @@ class StreamService {
   std::int64_t inflight_jobs_ TMERGE_GUARDED_BY(mutex_) = 0;
   std::int64_t merge_jobs_run_ TMERGE_GUARDED_BY(mutex_) = 0;
   std::int64_t inline_fallbacks_ TMERGE_GUARDED_BY(mutex_) = 0;
+  /// Stall post-mortem state: pending is set by PumpLocked when the
+  /// director reports its first stall flush; written latches after the
+  /// one-and-only dump.
+  bool stall_dump_pending_ TMERGE_GUARDED_BY(mutex_) = false;
+  bool stall_dump_written_ TMERGE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tmerge::stream

@@ -1,6 +1,7 @@
 #include "tmerge/obs/export.h"
 
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -59,6 +60,57 @@ TEST(ExportTest, PrometheusBucketCountsAreCumulative) {
   EXPECT_NE(text.find("tmerge_h_lat_bucket{le=\"+Inf\"} 3"),
             std::string::npos);
   EXPECT_NE(text.find("tmerge_h_lat_count 3"), std::string::npos);
+}
+
+RegistrySnapshot LabeledSnapshot() {
+  SetEnabled(true);
+  MetricsRegistry registry;
+  std::vector<MetricLabel> cam3{{"camera", "3"}};
+  std::vector<MetricLabel> cam12{{"camera", "12"}};
+  registry.GetCounter("stream.frames").Add(5);
+  registry.GetCounter(LabeledName("stream.frames", cam12)).Add(3);
+  registry.GetCounter(LabeledName("stream.frames", cam3)).Add(2);
+  registry.GetGauge(LabeledName("stream.depth", cam3)).Set(4.0);
+  Histogram& hist =
+      registry.GetHistogram(LabeledName("stream.lat", cam3), {1.0});
+  hist.Record(0.5);
+  hist.Record(2.0);
+  RegistrySnapshot snapshot = registry.Snapshot();
+  SetEnabled(false);
+  return snapshot;
+}
+
+// Labeled variants export as real Prometheus series — base name mangled,
+// label block passed through, `le` merged into bucket blocks — under a
+// single # TYPE line per family (the unlabeled series and every labeled
+// variant sort adjacently in the snapshot).
+TEST(ExportTest, PrometheusLabeledGolden) {
+  EXPECT_EQ(SnapshotToPrometheus(LabeledSnapshot()),
+            "# TYPE tmerge_stream_frames counter\n"
+            "tmerge_stream_frames 5\n"
+            "tmerge_stream_frames{camera=\"12\"} 3\n"
+            "tmerge_stream_frames{camera=\"3\"} 2\n"
+            "# TYPE tmerge_stream_depth gauge\n"
+            "tmerge_stream_depth{camera=\"3\"} 4\n"
+            "# TYPE tmerge_stream_lat histogram\n"
+            "tmerge_stream_lat_bucket{camera=\"3\",le=\"1\"} 1\n"
+            "tmerge_stream_lat_bucket{camera=\"3\",le=\"+Inf\"} 2\n"
+            "tmerge_stream_lat_sum{camera=\"3\"} 2.5\n"
+            "tmerge_stream_lat_count{camera=\"3\"} 2\n");
+}
+
+// The JSON exporter keys metrics by their full registry name; the quotes
+// and backslashes a LabeledName embeds must come out JSON-escaped.
+TEST(ExportTest, JsonEscapesLabeledNames) {
+  SetEnabled(true);
+  MetricsRegistry registry;
+  registry.GetGauge(LabeledName("g.x", {{"k", "a\"b"}})).Set(0.5);
+  RegistrySnapshot snapshot = registry.Snapshot();
+  SetEnabled(false);
+  EXPECT_EQ(SnapshotToJson(snapshot),
+            "{\"counters\":{},"
+            "\"gauges\":{" R"("g.x{k=\"a\\\"b\"}":0.5)" "},"
+            "\"histograms\":{}}");
 }
 
 TEST(ExportTest, WriteJsonStreamsSameBytes) {

@@ -184,5 +184,26 @@ TEST_F(MetricsTest, RegistryResetZeroesButKeepsReferences) {
   EXPECT_EQ(registry.Snapshot().counters.at("a"), 1);
 }
 
+TEST(LabeledNameTest, EmptyLabelsReturnBase) {
+  EXPECT_EQ(LabeledName("stream.q", {}), "stream.q");
+}
+
+TEST(LabeledNameTest, LabelsAppendInGivenOrder) {
+  EXPECT_EQ(LabeledName("stream.q", {{"camera", "3"}, {"zone", "a"}}),
+            "stream.q{camera=\"3\",zone=\"a\"}");
+}
+
+TEST(LabeledNameTest, ValuesArePrometheusEscaped) {
+  EXPECT_EQ(LabeledName("g", {{"k", "a\"b\\c\nd"}}),
+            "g{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(LabeledNameTest, LabeledVariantsAreIndependentMetrics) {
+  MetricsRegistry registry;
+  Counter& plain = registry.GetCounter("c");
+  Counter& labeled = registry.GetCounter(LabeledName("c", {{"camera", "1"}}));
+  EXPECT_NE(&plain, &labeled);
+}
+
 }  // namespace
 }  // namespace tmerge::obs

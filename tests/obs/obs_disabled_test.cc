@@ -9,6 +9,7 @@
 #endif
 
 #include "tmerge/obs/span.h"
+#include "tmerge/obs/trace.h"
 
 #include <gtest/gtest.h>
 
@@ -30,6 +31,26 @@ TEST(ObsDisabledTest, MacrosCompileToNothing) {
   EXPECT_FALSE(snapshot.histograms.contains("disabled.span.seconds"));
   EXPECT_FALSE(snapshot.histograms.contains("disabled.span2.seconds"));
   EXPECT_FALSE(snapshot.counters.contains("disabled.count"));
+}
+
+TEST(ObsDisabledTest, TraceMacrosCompileToNothing) {
+  TraceRecorder recorder;
+  // Not Default() — but the macros only ever talk to Default(), so arm it
+  // too and confirm nothing lands there either.
+  TraceRecorder::Default().Start();
+  {
+    TMERGE_TRACE_SCOPE("disabled.scope", 1.0, {"camera", 1});
+    TMERGE_TRACE_INSTANT("disabled.instant", 2.0);
+    TMERGE_TRACE_COUNTER("disabled.counter", 42);
+  }
+  TraceSnapshot snapshot = TraceRecorder::Default().Snapshot();
+  TraceRecorder::Default().Stop();
+  EXPECT_EQ(snapshot.events.size(), 0u);
+  EXPECT_EQ(snapshot.total_recorded, 0);
+  // The recorder API itself is not compiled out — post-mortem tooling and
+  // tests still link against it.
+  recorder.RecordAt(10, "explicit.event", TracePhase::kInstant);
+  EXPECT_EQ(recorder.Snapshot().events.size(), 1u);
 }
 
 TEST(ObsDisabledTest, RegistryApiStaysUsable) {

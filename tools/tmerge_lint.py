@@ -10,7 +10,8 @@ tests can see (DESIGN.md "Static analysis & enforced invariants"):
       core/rng.h, or TMerge's reproducibility claims (bit-identical
       results for any thread count) silently rot.
     - no std::chrono::system_clock under src/, and steady_clock only in
-      an explicit allowlist (sim_clock.h, obs/span.h, thread_pool.cc).
+      an explicit allowlist (obs/trace_clock.h — the one sanctioned
+      wall-clock source; spans, WallTimer and the thread pool all read it).
       Recall/FPS numbers come from the simulated cost model; a stray
       wall-clock read would let host load leak into "measurements".
     - no sleeping under src/ (this_thread::sleep_for/sleep_until,
@@ -26,6 +27,12 @@ tests can see (DESIGN.md "Static analysis & enforced invariants"):
     - no <iostream> in headers (global-constructor and compile-time tax;
       headers needing formatted output take a stream or use <cstdio> in
       the .cc).
+    - metric/trace event names passed as literals to TMERGE_SPAN,
+      TMERGE_TRACE_*, or registry Get* must be lowercase dotted
+      identifiers (`stream.merge_job.seconds`), so exporters, dashboards
+      and trace_summarize.py can rely on one naming grammar. Computed
+      names (e.g. obs::LabeledName) are out of this rule's reach and
+      follow the same convention by construction.
 
 Zero third-party dependencies; runs as a tier-1 ctest and in the CI
 static-analysis job. Exit code 0 = clean, 1 = violations, 2 = usage error.
@@ -33,8 +40,8 @@ static-analysis job. Exit code 0 = clean, 1 = violations, 2 = usage error.
 A line can opt out of a named rule with a trailing comment:
     foo();  // tmerge-lint: allow(<rule>)
 where <rule> is one of: randomness, wall-clock, no-sleep, header-guard,
-using-namespace, iostream-header. Use sparingly; the allowlists above are
-preferred for whole-file exemptions.
+using-namespace, iostream-header, event-name. Use sparingly; the
+allowlists above are preferred for whole-file exemptions.
 """
 
 from __future__ import annotations
@@ -44,13 +51,12 @@ import pathlib
 import re
 import sys
 
-# steady_clock is legitimate exactly where the design says time may be
-# observed: the simulated clock itself, span timing, and the thread pool's
-# queue-wait/busy instrumentation.
+# steady_clock is legitimate in exactly one place: the obs trace clock.
+# Every real-time measurement (trace events, span histograms, WallTimer,
+# thread-pool queue-wait timing) routes through obs::TraceClockNanos(), so
+# the determinism audit is a one-header read.
 STEADY_CLOCK_ALLOWLIST = {
-    "src/tmerge/core/sim_clock.h",
-    "src/tmerge/obs/span.h",
-    "src/tmerge/core/thread_pool.cc",
+    "src/tmerge/obs/trace_clock.h",
 }
 
 HEADER_EXTENSIONS = {".h", ".hpp", ".hh"}
@@ -66,6 +72,15 @@ SLEEP_RE = re.compile(
     r"\bsleep_for\b|\bsleep_until\b|(?<![\w:.])(?:sleep|usleep|nanosleep)\s*\(")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+
+# A metric/trace name site whose first argument is a string literal opening
+# on the same line. strip_comments() blanks literal *contents* but keeps
+# the quote characters in place, so the match is found on the stripped line
+# and the name itself is sliced out of the raw line at the same columns.
+EVENT_NAME_CALL_RE = re.compile(
+    r"\b(?:TMERGE_SPAN|TMERGE_TRACE_SCOPE|TMERGE_TRACE_INSTANT|"
+    r"TMERGE_TRACE_COUNTER|GetCounter|GetGauge|GetHistogram)\s*\(\s*\"")
+EVENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)*$")
 
 
 def strip_comments(text: str) -> str:
@@ -199,6 +214,18 @@ class Linter:
                     self.report(path, lineno, "iostream-header",
                                 "<iostream> in a header; include it in the "
                                 ".cc or take a std::ostream&")
+            for m in EVENT_NAME_CALL_RE.finditer(code):
+                start = m.end()  # just past the opening quote
+                end = code.find('"', start)
+                if end == -1:
+                    continue  # literal spans lines; out of this rule's reach
+                name = orig[start:end]
+                if not EVENT_NAME_RE.match(name):
+                    if not self.allowed(orig, "event-name"):
+                        self.report(path, lineno, "event-name",
+                                    f'metric/trace name "{name}" must be a '
+                                    "lowercase dotted identifier "
+                                    "([a-z0-9_] segments joined by '.')")
 
         if is_header:
             self.lint_header_guard(path, rel, code_lines, raw_lines)

@@ -98,6 +98,26 @@ class RuleFiringTest(unittest.TestCase):
             "#include <iostream>\n#endif\n",
             "iostream-header", rel="src/tmerge/x/f.h")
 
+    def test_event_name_uppercase_banned(self):
+        self.assert_rule('void f() { TMERGE_SPAN("Stream.Ingest"); }',
+                        "event-name")
+
+    def test_event_name_space_banned(self):
+        self.assert_rule(
+            'void f() { TMERGE_TRACE_INSTANT("stream admit"); }',
+            "event-name")
+
+    def test_event_name_registry_getters_checked(self):
+        self.assert_rule(
+            'auto& c = registry.GetCounter("stream.Bad-Name");',
+            "event-name")
+
+    def test_event_name_checked_in_tests_dir_too(self):
+        # The naming grammar is repo-wide: test metrics feed the same
+        # exporters and goldens.
+        self.assert_rule('void f() { TMERGE_TRACE_COUNTER("BadName", 1); }',
+                        "event-name", rel="tests/x/f.cc")
+
 
 class NoFalsePositiveTest(unittest.TestCase):
     def test_clean_header_passes(self):
@@ -145,6 +165,29 @@ class NoFalsePositiveTest(unittest.TestCase):
     def test_sleep_allowed_in_tests_dir(self):
         content = "void f() { std::this_thread::sleep_for(1ms); }\n"
         self.assertEqual(run_on({"tests/x/f.cc": content}), [])
+
+    def test_event_name_valid_names_pass(self):
+        content = ('void f() {\n'
+                   '  TMERGE_SPAN("stream.merge_job.seconds");\n'
+                   '  TMERGE_TRACE_SCOPE("stream.frame.ingest");\n'
+                   '  TMERGE_TRACE_COUNTER("core.pool.tasks2", 1);\n'
+                   '}\n')
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_event_name_non_literal_args_skipped(self):
+        # Computed names (LabeledName etc.) are out of the rule's reach.
+        content = ('auto& g = registry.GetGauge(\n'
+                   '    obs::LabeledName("stream.q", {{"camera", id}}));\n')
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_event_name_allow_suppression(self):
+        content = ('void f() { TMERGE_SPAN("Legacy.Name"); }'
+                   '  // tmerge-lint: allow(event-name)\n')
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_steady_clock_allowlist_is_trace_clock_only(self):
+        self.assertEqual(tmerge_lint.STEADY_CLOCK_ALLOWLIST,
+                         {"src/tmerge/obs/trace_clock.h"})
 
 
 class GuardDerivationTest(unittest.TestCase):
