@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
 #include "tmerge/fault/failpoint.h"
 #include "tmerge/obs/span.h"
 

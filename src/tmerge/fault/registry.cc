@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 
+#include "tmerge/core/mutex.h"
 #include "tmerge/obs/metrics.h"
 
 namespace tmerge::fault {
@@ -170,7 +171,9 @@ core::Status Registry::ApplySpec(std::string_view spec) {
 }
 
 Registry& GlobalRegistry() {
-  static Registry* registry = new Registry();
+  // Leaked on purpose: failpoints may be consulted during static
+  // destruction of other objects.
+  static Registry* registry = new Registry();  // tmerge-lint: allow(naked-new)
   return *registry;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tmerge/core/mutex.h"
+
 namespace tmerge::obs {
 
 namespace internal {
@@ -166,7 +168,8 @@ void MetricsRegistry::Reset() {
 MetricsRegistry& DefaultRegistry() {
   // Leaked on purpose: instrumentation sites cache references for the
   // process lifetime and may fire from detached/static destructors.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // tmerge-lint: allow(naked-new)
   return *registry;
 }
 

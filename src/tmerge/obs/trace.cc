@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "tmerge/core/mutex.h"
+
 namespace tmerge::obs {
 
 namespace {
@@ -67,7 +69,8 @@ TraceRecorder::~TraceRecorder() = default;
 TraceRecorder& TraceRecorder::Default() {
   // Leaked like DefaultRegistry(): threads may record during static
   // destruction of other objects.
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder =
+      new TraceRecorder();  // tmerge-lint: allow(naked-new)
   return *recorder;
 }
 

@@ -1,5 +1,6 @@
 #include "tmerge/stream/merge_director.h"
 
+#include "tmerge/core/mutex.h"
 #include "tmerge/core/status.h"
 #include "tmerge/fault/failpoint.h"
 #include "tmerge/obs/metrics.h"

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tmerge/core/mutex.h"
 #include "tmerge/core/status.h"
 #include "tmerge/fault/failpoint.h"
 #include "tmerge/merge/pair_store.h"

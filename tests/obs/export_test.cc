@@ -1,6 +1,8 @@
 #include "tmerge/obs/export.h"
 
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -112,6 +114,28 @@ TEST(ExportTest, JsonEscapesLabeledNames) {
             "\"gauges\":{" R"("g.x{k=\"a\\\"b\"}":0.5)" "},"
             "\"histograms\":{}}");
 }
+
+// The stream.* names these goldens exercise live in a namespace the
+// cross-artifact registry owns (tools/analyze/registry.json). Asserting
+// they are listed here ties the golden fixtures to the registry: renaming
+// a fixture without updating the registry fails this test and the
+// `tmerge_analyze` ctest in the same run, so the two artifacts cannot
+// drift apart silently.
+#ifdef TMERGE_REGISTRY_JSON
+TEST(ExportTest, FixtureNamesAreRegistryListed) {
+  std::ifstream in(TMERGE_REGISTRY_JSON);
+  ASSERT_TRUE(in.is_open()) << "cannot open " << TMERGE_REGISTRY_JSON;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string registry = buf.str();
+  for (const char* name : {"stream.frames", "stream.depth", "stream.lat"}) {
+    EXPECT_NE(registry.find(std::string("\"") + name + "\""),
+              std::string::npos)
+        << name << " used by exporter goldens but not listed in "
+        << TMERGE_REGISTRY_JSON;
+  }
+}
+#endif  // TMERGE_REGISTRY_JSON
 
 TEST(ExportTest, WriteJsonStreamsSameBytes) {
   RegistrySnapshot snapshot = SampleSnapshot();

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Regression suite for tools/analyze: runs the analyzer over each corpus
+case and checks that exactly the expected rules fire.
+
+Every rule has one firing positive (`<rule>_pos/`) and one clean negative
+(`<rule>_neg/`). A case directory is a miniature repo root:
+
+  <case>/src/*.{h,cc}      the code under analysis
+  <case>/lock_order.json   canonical order for the case (optional)
+  <case>/registry.json     name registry for the case (optional)
+  <case>/suppressions.json allowlist for the case (optional)
+  <case>/DESIGN.md         design doc for suppression design_refs (optional)
+  <case>/expect.json       {"rules": [...]} — the exact set of rule ids
+                           expected to fire ([] for negatives)
+
+The assertion is on the *set* of firing rule ids, not finding counts, so
+the corpus stays robust to message tweaks while still proving each rule
+both fires and stays silent. Exit code must agree: 1 when any rule is
+expected to fire, 0 otherwise.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+ANALYZER = HERE.parents[2] / "tools" / "analyze" / "tmerge_analyze.py"
+
+
+def run_case(case: pathlib.Path) -> list[str]:
+    expected = set(json.loads((case / "expect.json").read_text())["rules"])
+    cmd = [sys.executable, str(ANALYZER),
+           "--root", str(case),
+           "--compdb", "none",
+           "--config-dir", str(case),
+           "--frontend", "builtin",
+           "--design", str(case / "DESIGN.md")]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    fired = set()
+    for line in proc.stdout.splitlines():
+        if "] " in line and ": [" in line:
+            fired.add(line.split(": [", 1)[1].split("]", 1)[0])
+    errors = []
+    if fired != expected:
+        errors.append(f"{case.name}: expected rules {sorted(expected)} "
+                      f"but got {sorted(fired)}\n--- analyzer output ---\n"
+                      f"{proc.stdout}{proc.stderr}")
+    want_rc = 1 if expected else 0
+    if proc.returncode != want_rc:
+        errors.append(f"{case.name}: expected exit {want_rc}, "
+                      f"got {proc.returncode}\n--- analyzer output ---\n"
+                      f"{proc.stdout}{proc.stderr}")
+    return errors
+
+
+def main() -> int:
+    cases = sorted(p for p in HERE.iterdir()
+                   if p.is_dir() and (p / "expect.json").exists())
+    if not cases:
+        print("analyze_selftest: no corpus cases found", file=sys.stderr)
+        return 2
+    # Sanity: the corpus must keep a firing positive and a clean negative
+    # for every rule id the analyzer knows about (suppression included).
+    names = {p.name for p in cases}
+    missing = []
+    for rule in ("lockorder", "blocking", "guardedby", "include",
+                 "registry", "suppression"):
+        for suffix in ("_pos", "_neg"):
+            if rule + suffix not in names:
+                missing.append(rule + suffix)
+    if missing:
+        print(f"analyze_selftest: corpus incomplete, missing: {missing}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for case in cases:
+        failures.extend(run_case(case))
+    for failure in failures:
+        print(failure)
+    print(f"analyze_selftest: {len(cases)} cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#include "tmerge/core/mutex.h"
+
+#include <cstdio>
+
+#include "queue.h"
+
+namespace demo {
+
+void Queue::Drain() {
+  core::MutexLock lock(mu_);
+  // Self-wait: cv_.Wait releases and reacquires the one mutex held, the
+  // sanctioned condition-variable pattern.
+  while (depth_ == 0) cv_.Wait(mu_);
+  depth_ -= 1;
+}
+
+void Queue::Dump() {
+  int depth;
+  {
+    core::MutexLock lock(mu_);
+    depth = depth_;
+  }
+  std::fprintf(stderr, "depth %d\n", depth);  // I/O outside the lock
+}
+
+}  // namespace demo

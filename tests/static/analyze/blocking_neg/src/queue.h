@@ -1,0 +1,25 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_BLOCKING_NEG_SRC_QUEUE_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_BLOCKING_NEG_SRC_QUEUE_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+/// A queue whose drain path waits and logs; the positive case does both
+/// while holding an unrelated mutex.
+class Queue {
+ public:
+  void Drain();
+  void Dump();
+
+ private:
+  core::Mutex io_mu_;
+  core::Mutex mu_;
+  core::CondVar cv_;
+  int depth_ TMERGE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_BLOCKING_NEG_SRC_QUEUE_H_

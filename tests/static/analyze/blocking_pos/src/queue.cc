@@ -1,0 +1,23 @@
+#include "tmerge/core/mutex.h"
+
+#include <cstdio>
+
+#include "queue.h"
+
+namespace demo {
+
+void Queue::Drain() {
+  core::MutexLock io(io_mu_);
+  core::MutexLock lock(mu_);
+  // Waits on mu_ but never releases io_mu_: any producer needing io_mu_
+  // to publish work deadlocks with this consumer.
+  while (depth_ == 0) cv_.Wait(mu_);
+  depth_ -= 1;
+}
+
+void Queue::Dump() {
+  core::MutexLock lock(mu_);
+  std::fprintf(stderr, "depth low\n");  // file I/O under a held mutex
+}
+
+}  // namespace demo

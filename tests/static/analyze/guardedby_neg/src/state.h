@@ -1,0 +1,23 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_NEG_SRC_STATE_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_NEG_SRC_STATE_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+class State {
+ public:
+  void Bump();
+  void Cross();
+
+ private:
+  core::Mutex mu_;
+  core::Mutex other_mu_;
+  int plain_ TMERGE_GUARDED_BY(mu_) = 0;
+  int wrong_ TMERGE_GUARDED_BY(other_mu_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_NEG_SRC_STATE_H_

@@ -1,0 +1,17 @@
+#include "tmerge/core/mutex.h"
+
+#include "state.h"
+
+namespace demo {
+
+void State::Bump() {
+  core::MutexLock lock(mu_);
+  plain_ += 1;
+}
+
+void State::Cross() {
+  core::MutexLock lock(other_mu_);
+  wrong_ = 2;
+}
+
+}  // namespace demo

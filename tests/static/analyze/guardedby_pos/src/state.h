@@ -1,0 +1,23 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_POS_SRC_STATE_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_POS_SRC_STATE_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+class State {
+ public:
+  void Bump();
+  void Cross();
+
+ private:
+  core::Mutex mu_;
+  core::Mutex other_mu_;
+  int plain_ = 0;  // mutated under mu_ but unannotated
+  int wrong_ TMERGE_GUARDED_BY(mu_) = 0;  // mutated under other_mu_
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_GUARDEDBY_POS_SRC_STATE_H_

@@ -1,0 +1,20 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_NEG_SRC_HOLDER_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_NEG_SRC_HOLDER_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+class Holder {
+ public:
+  void Set(int v);
+
+ private:
+  core::Mutex mu_;
+  int value_ TMERGE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_NEG_SRC_HOLDER_H_

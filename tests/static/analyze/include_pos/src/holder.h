@@ -1,0 +1,19 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_HOLDER_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_HOLDER_H_
+
+
+namespace demo {
+
+/// Uses core::Mutex with no direct include of tmerge/core/mutex.h.
+class Holder {
+ public:
+  void Set(int v);
+
+ private:
+  core::Mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_HOLDER_H_

@@ -1,0 +1,15 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_TAGGED_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_TAGGED_H_
+
+
+namespace demo {
+
+/// Uses an annotation macro with no direct include of
+/// tmerge/core/thread_annotations.h (and no mutex.h either).
+struct Tagged {
+  int value TMERGE_GUARDED_BY(external_mu) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_INCLUDE_POS_SRC_TAGGED_H_

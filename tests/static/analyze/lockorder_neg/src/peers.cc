@@ -1,0 +1,31 @@
+#include "tmerge/core/mutex.h"
+
+#include "peers.h"
+
+namespace demo {
+
+void A::Poke(B& b) {
+  core::MutexLock lock(mu_a_);
+  hits_ += 1;
+  b.Touch();  // a -> b only: acyclic and forward in lock_order.json
+}
+
+void A::Bump() {
+  core::MutexLock lock(mu_a_);
+  hits_ += 1;
+}
+
+void B::Poke(A& a) {
+  {
+    core::MutexLock lock(mu_b_);
+    hits_ += 1;
+  }
+  a.Bump();  // mu_b_ released before calling back up: no b -> a edge
+}
+
+void B::Touch() {
+  core::MutexLock lock(mu_b_);
+  hits_ += 1;
+}
+
+}  // namespace demo

@@ -1,0 +1,29 @@
+#include "tmerge/core/mutex.h"
+
+#include "peers.h"
+
+namespace demo {
+
+void A::Poke(B& b) {
+  core::MutexLock lock(mu_a_);
+  hits_ += 1;
+  b.Touch();  // acquires mu_b_ while mu_a_ is held: edge a -> b
+}
+
+void A::Bump() {
+  core::MutexLock lock(mu_a_);
+  hits_ += 1;
+}
+
+void B::Poke(A& a) {
+  core::MutexLock lock(mu_b_);
+  hits_ += 1;
+  a.Bump();  // acquires mu_a_ while mu_b_ is held: edge b -> a (cycle!)
+}
+
+void B::Touch() {
+  core::MutexLock lock(mu_b_);
+  hits_ += 1;
+}
+
+}  // namespace demo

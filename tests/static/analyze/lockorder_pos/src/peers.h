@@ -1,0 +1,35 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_LOCKORDER_POS_SRC_PEERS_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_LOCKORDER_POS_SRC_PEERS_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+class B;
+
+/// Two peers that lock while calling into each other: the classic
+/// inversion the lock-order rule exists to catch.
+class A {
+ public:
+  void Poke(B& b);
+  void Bump();
+
+ private:
+  core::Mutex mu_a_;
+  int hits_ TMERGE_GUARDED_BY(mu_a_) = 0;
+};
+
+class B {
+ public:
+  void Poke(A& a);
+  void Touch();
+
+ private:
+  core::Mutex mu_b_;
+  int hits_ TMERGE_GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_LOCKORDER_POS_SRC_PEERS_H_

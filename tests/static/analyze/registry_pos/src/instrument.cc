@@ -1,0 +1,10 @@
+#include "tmerge/core/mutex.h"
+
+namespace demo {
+
+void Instrument() {
+  GetCounter("demo.used.listed").Add();
+  GetCounter("demo.used.unlisted").Add();
+}
+
+}  // namespace demo

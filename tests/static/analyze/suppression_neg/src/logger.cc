@@ -1,0 +1,15 @@
+#include "tmerge/core/mutex.h"
+
+#include <cstdio>
+
+#include "logger.h"
+
+namespace demo {
+
+void Logger::Flush() {
+  core::MutexLock lock(mu_);
+  pending_ = 0;
+  std::fprintf(stderr, "flushed\n");
+}
+
+}  // namespace demo

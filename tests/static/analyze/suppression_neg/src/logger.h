@@ -1,0 +1,20 @@
+#ifndef TMERGE_TESTS_STATIC_ANALYZE_SUPPRESSION_NEG_SRC_LOGGER_H_
+#define TMERGE_TESTS_STATIC_ANALYZE_SUPPRESSION_NEG_SRC_LOGGER_H_
+
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
+
+namespace demo {
+
+class Logger {
+ public:
+  void Flush();
+
+ private:
+  core::Mutex mu_;
+  int pending_ TMERGE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // TMERGE_TESTS_STATIC_ANALYZE_SUPPRESSION_NEG_SRC_LOGGER_H_

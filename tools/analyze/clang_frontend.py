@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""libclang frontend: builds the same Model as cpp_model from real ASTs.
+
+This frontend is *gated*: it needs the `clang` python bindings plus a
+loadable libclang shared library, which the dev container does not ship
+(and installing packages is out of scope for the analyzer). The driver's
+`--frontend auto` therefore tries this module and falls back — loudly — to
+the builtin frontend on any failure; CI installs python3-clang and runs
+with the real AST. Both frontends feed the identical rules in rules.py, and
+the selftest corpus pins the expected findings for whichever frontend is
+active, so a frontend swap cannot silently change what the suite enforces.
+
+Scope notes: libclang gives exact type/reference resolution (receiver
+typing, overloads, using-decls) which the builtin reader only
+approximates. The held-set computation is the same RAII-scope logic —
+`MutexLock` VarDecl extents — because libclang exposes no CFG; that keeps
+the two frontends' outputs directly comparable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from cpp_model import (
+    Acquisition, CallSite, ClassInfo, Field, FieldWrite, FileFacts,
+    FunctionInfo, Model, NameUse, NAME_SITES, PRIMITIVE_FILES,
+)
+
+
+class ClangUnavailableError(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # noqa: PLC0415 (gated import)
+    except ImportError as exc:
+        raise ClangUnavailableError(
+            "python clang bindings not installed (python3-clang)") from exc
+    try:
+        cindex.Index.create()
+    except Exception as exc:  # cindex raises LibclangError and friends
+        raise ClangUnavailableError(
+            f"libclang shared library not loadable: {exc}") from exc
+    return cindex
+
+
+def build_model(root: pathlib.Path, files: Iterable[pathlib.Path],
+                compdb_dir: pathlib.Path) -> Model:
+    """Parses every translation unit listed in the compilation database and
+    folds declarations from headers under `files` into one Model."""
+    cindex = _load_cindex()
+    ck = cindex.CursorKind
+    model = Model()
+    model.frontend = "libclang"
+    wanted = {p.resolve() for p in files}
+
+    db = cindex.CompilationDatabase.fromDirectory(str(compdb_dir))
+    index = cindex.Index.create()
+    seen_files: set[pathlib.Path] = set()
+
+    for cmd in db.getAllCompileCommands():
+        src = pathlib.Path(cmd.directory, cmd.filename).resolve()
+        if src not in wanted:
+            continue
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in (str(cmd.filename), "-c", "-o")][:-1]
+        tu = index.parse(str(src), args=args,
+                         options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        _walk_tu(model, root, tu, ck, wanted, seen_files)
+    return model
+
+
+def _rel(root: pathlib.Path, location) -> str | None:
+    if location.file is None:
+        return None
+    try:
+        return pathlib.Path(location.file.name).resolve() \
+            .relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return None
+
+
+def _qualified(cursor) -> str:
+    parts = []
+    cur = cursor
+    while cur is not None and cur.spelling and \
+            cur.kind.name != "TRANSLATION_UNIT":
+        if cur.spelling != "tmerge":
+            parts.append(cur.spelling)
+        cur = cur.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _tokens_text(cursor) -> str:
+    return " ".join(t.spelling for t in cursor.get_tokens())
+
+
+def _walk_tu(model: Model, root: pathlib.Path, tu, ck,
+             wanted: set[pathlib.Path], seen_files: set[pathlib.Path]
+             ) -> None:
+    import re
+
+    def visit(cursor, enclosing_fn=None, held=()):
+        rel = _rel(root, cursor.location)
+        if rel is None or rel in PRIMITIVE_FILES:
+            for child in cursor.get_children():
+                visit(child, enclosing_fn, held)
+            return
+
+        if cursor.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                cursor.is_definition():
+            qual = _qualified(cursor)
+            info = model.classes.setdefault(qual, ClassInfo(
+                qualified=qual, file=rel, line=cursor.location.line))
+            for child in cursor.get_children():
+                if child.kind == ck.FIELD_DECL:
+                    text = _tokens_text(child)
+                    type_text = child.type.spelling
+                    field = Field(
+                        cls=qual, name=child.spelling, type_text=type_text,
+                        line=child.location.line,
+                        is_mutex=type_text.endswith("core::Mutex"),
+                        is_condvar=type_text.endswith("core::CondVar"),
+                        is_atomic="atomic" in type_text,
+                        is_const=child.type.is_const_qualified())
+                    m = re.search(r"TMERGE_GUARDED_BY\s*\(\s*([^()]+?)\s*\)",
+                                  text)
+                    if m:
+                        field.guarded_by = f"{qual}::{m.group(1)}" \
+                            if re.fullmatch(r"\w+", m.group(1)) \
+                            else m.group(1)
+                    info.fields[child.spelling] = field
+
+        if cursor.kind in (ck.CXX_METHOD, ck.FUNCTION_DECL, ck.CONSTRUCTOR,
+                           ck.DESTRUCTOR):
+            qual = _qualified(cursor)
+            fn = model.functions.get(qual)
+            if fn is None:
+                parent = cursor.semantic_parent
+                cls = _qualified(parent) if parent is not None and \
+                    parent.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) else None
+                fn = FunctionInfo(qualified=qual, cls=cls, file=rel,
+                                  line=cursor.location.line)
+                model.functions[qual] = fn
+            text = _tokens_text(cursor) if not cursor.is_definition() else ""
+            for macro, target in (("TMERGE_REQUIRES", fn.requires),
+                                  ("TMERGE_EXCLUDES", fn.excludes)):
+                for m in re.finditer(macro + r"\s*\(\s*([^()]+?)\s*\)", text):
+                    expr = m.group(1)
+                    target.add(f"{fn.cls}::{expr}" if fn.cls and
+                               re.fullmatch(r"\w+", expr) else expr)
+            if cursor.is_definition():
+                fn.has_body = True
+                _walk_body(model, root, cursor, fn, ck)
+            return
+
+        for child in cursor.get_children():
+            visit(child, enclosing_fn, held)
+
+    visit(tu.cursor)
+
+
+def _walk_body(model: Model, root: pathlib.Path, fn_cursor, fn, ck) -> None:
+    """Call sites, MutexLock acquisitions and member writes with RAII-scope
+    held tracking, mirroring the builtin frontend's semantics."""
+    requires_held = tuple(sorted(fn.requires))
+
+    def mutex_name(expr_cursor) -> str:
+        ref = expr_cursor.referenced
+        if ref is not None and ref.semantic_parent is not None:
+            return _qualified(ref)
+        return expr_cursor.spelling or "?"
+
+    def walk(cursor, held):
+        rel = _rel(root, cursor.location)
+        for child in cursor.get_children():
+            if child.kind == ck.VAR_DECL and \
+                    child.type.spelling.endswith("MutexLock"):
+                inits = [g for g in child.get_children()
+                         if g.kind.is_expression()]
+                name = "?"
+                for init in inits:
+                    for ref in init.walk_preorder():
+                        if ref.kind in (ck.MEMBER_REF_EXPR, ck.DECL_REF_EXPR) \
+                                and ref.type.spelling.endswith("core::Mutex"):
+                            name = mutex_name(ref)
+                            break
+                fn.acquires.append(Acquisition(
+                    mutex=name, file=rel or fn.file,
+                    line=child.location.line, held=tuple(held)))
+                held = held + [name]
+            elif child.kind == ck.CALL_EXPR:
+                callee = child.referenced
+                qual = _qualified(callee) if callee is not None \
+                    else child.spelling
+                args = list(child.get_arguments())
+                first = args[0].spelling if args else ""
+                site = CallSite(
+                    callee=qual or child.spelling, raw=child.spelling,
+                    file=rel or fn.file, line=child.location.line,
+                    held=tuple(held), first_arg=first,
+                    in_lambda=False)
+                fn.calls.append(site)
+                walk(child, held)
+            elif child.kind == ck.LAMBDA_EXPR:
+                walk(child, [])   # deferred: starts with nothing held
+            elif child.kind in (ck.BINARY_OPERATOR,
+                                ck.COMPOUND_ASSIGNMENT_OPERATOR,
+                                ck.UNARY_OPERATOR):
+                _maybe_record_write(model, fn, child, held, ck, rel)
+                walk(child, held)
+            else:
+                walk(child, held)
+
+    walk(fn_cursor, list(requires_held))
+
+
+def _maybe_record_write(model: Model, fn, cursor, held, ck, rel) -> None:
+    if fn.cls is None or fn.cls not in model.classes:
+        return
+    children = list(cursor.get_children())
+    if not children:
+        return
+    lhs = children[0]
+    if lhs.kind != ck.MEMBER_REF_EXPR:
+        return
+    name = lhs.spelling
+    if name in model.classes[fn.cls].fields:
+        fn.writes.append(FieldWrite(
+            cls=fn.cls, field=name, file=rel or fn.file,
+            line=cursor.location.line, held=tuple(held),
+            in_ctor=fn.qualified.rsplit("::", 1)[-1] ==
+            (fn.cls or "").rsplit("::", 1)[-1]))

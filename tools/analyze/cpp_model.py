@@ -1,0 +1,1015 @@
+#!/usr/bin/env python3
+"""Semantic model of the tmerge C++ tree, extracted without a compiler.
+
+This is the *builtin* frontend of tools/analyze: a deliberately scoped C++
+reader that understands the repo's uniform idiom (Google-style classes,
+`core::MutexLock lock(mu_)` RAII locking, TMERGE_* capability annotations
+on declarations, instrumentation macros with literal names) well enough to
+build the structures the rules in rules.py consume:
+
+  - classes and their data members, with mutex/condvar/atomic typing and
+    TMERGE_GUARDED_BY annotations;
+  - functions (declarations and definitions merged by qualified name) with
+    their REQUIRES/EXCLUDES contracts, the mutexes their bodies acquire,
+    every call site annotated with the set of mutexes held at that point,
+    and every write to a member field with the same held-set;
+  - metric/trace/failpoint name literals with their registration kind;
+  - per-file direct includes and Mutex/annotation-macro usage lines.
+
+The libclang frontend (clang_frontend.py) produces the same Model from a
+real AST when python bindings are installed; the driver picks whichever is
+available (see tmerge_analyze.py --frontend). Keeping the builtin reader
+self-contained means the analyzer — a tier-1 ctest and a blocking CI gate —
+never silently degrades to "skipped" on a machine without libclang.
+
+Parsing strategy: one linear scan per file tracking a context stack
+(namespace / class / function / lambda / block) keyed on brace depth, with
+comments and string contents blanked (positions preserved) so regexes never
+fire inside either. Held-mutex sets are tracked by attaching each
+`MutexLock` to the brace depth of its declaration and popping it when that
+block closes, which mirrors the RAII lifetime exactly. This is not a C++
+parser; it is a reader for *this* codebase's subset, and the selftest
+corpus (tests/static/analyze/) pins the constructs it must understand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+from typing import Iterable
+
+
+# ---------------------------------------------------------------------------
+# Shared model dataclasses (both frontends produce these).
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Field:
+    """One data member of a class."""
+
+    cls: str                 # qualified class name, e.g. "stream::StreamService"
+    name: str
+    type_text: str
+    line: int
+    guarded_by: str | None = None   # qualified mutex name when annotated
+    is_mutex: bool = False
+    is_condvar: bool = False
+    is_atomic: bool = False
+    is_const: bool = False
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    qualified: str
+    file: str
+    line: int
+    fields: dict[str, Field] = dataclasses.field(default_factory=dict)
+
+    @property
+    def mutexes(self) -> list[Field]:
+        return [f for f in self.fields.values() if f.is_mutex]
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One resolved (or best-effort) call within a function body."""
+
+    callee: str              # qualified function when resolved, raw chain otherwise
+    raw: str                 # the receiver.method chain as written
+    file: str
+    line: int
+    held: tuple[str, ...]    # qualified mutexes held at the call site
+    first_arg: str = ""      # normalized first-argument text (CondVar::Wait)
+    in_lambda: bool = False
+
+
+@dataclasses.dataclass
+class FieldWrite:
+    cls: str
+    field: str
+    file: str
+    line: int
+    held: tuple[str, ...]
+    in_ctor: bool = False
+
+
+@dataclasses.dataclass
+class Acquisition:
+    """One MutexLock (or scoped acquire) inside a function body."""
+
+    mutex: str               # qualified mutex
+    file: str
+    line: int
+    held: tuple[str, ...]    # mutexes already held when this one is taken
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    qualified: str
+    cls: str | None
+    file: str
+    line: int
+    requires: set[str] = dataclasses.field(default_factory=set)
+    excludes: set[str] = dataclasses.field(default_factory=set)
+    acquires: list[Acquisition] = dataclasses.field(default_factory=list)
+    calls: list[CallSite] = dataclasses.field(default_factory=list)
+    writes: list[FieldWrite] = dataclasses.field(default_factory=list)
+    has_body: bool = False
+
+    def merge_decl(self, other: "FunctionInfo") -> None:
+        """Folds a declaration's contracts into this (defined) function."""
+        self.requires |= other.requires
+        self.excludes |= other.excludes
+
+
+@dataclasses.dataclass
+class NameUse:
+    """One metric/trace/span/failpoint name literal at a known site."""
+
+    name: str
+    kind: str                # counter|gauge|histogram|span|trace|failpoint
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class FileFacts:
+    """Per-file include hygiene facts."""
+
+    path: str
+    includes: set[str] = dataclasses.field(default_factory=set)
+    mutex_use_lines: list[int] = dataclasses.field(default_factory=list)
+    annotation_use_lines: list[int] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Model:
+    classes: dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    name_uses: list[NameUse] = dataclasses.field(default_factory=list)
+    files: dict[str, FileFacts] = dataclasses.field(default_factory=dict)
+    frontend: str = "builtin"
+
+    def function_index(self) -> dict[str, list[FunctionInfo]]:
+        """Maps unqualified method name -> functions carrying it."""
+        index: dict[str, list[FunctionInfo]] = {}
+        for fn in self.functions.values():
+            index.setdefault(fn.qualified.rsplit("::", 1)[-1], []).append(fn)
+        return index
+
+
+# ---------------------------------------------------------------------------
+# Name-literal harvesting configuration.
+#
+# Callee -> registry kind for calls whose first argument is a string
+# literal. Wrappers local to one file (StreamCounter, DirectorCounter) are
+# listed alongside the registry methods they forward to, so harvesting does
+# not depend on inlining them.
+# ---------------------------------------------------------------------------
+
+NAME_SITES: dict[str, str] = {
+    "GetCounter": "counter",
+    "StreamCounter": "counter",
+    "DirectorCounter": "counter",
+    "GetGauge": "gauge",
+    "GetHistogram": "histogram",
+    "LabeledName": "labeled_base",
+    "TMERGE_SPAN": "span",
+    "TMERGE_TRACE_SCOPE": "trace",
+    "TMERGE_TRACE_INSTANT": "trace",
+    "TMERGE_TRACE_COUNTER": "trace",
+    "TraceInstant": "trace",
+    "TraceCounter": "trace",
+    "TMERGE_FAILPOINT": "failpoint",
+    "TMERGE_FAILPOINT_LATENCY": "failpoint",
+    "Arm": "failpoint",
+    "Disarm": "failpoint",
+    "fires": "failpoint",
+}
+
+# Macros that expand to calls into known lock-acquiring machinery. The
+# builtin frontend records these as synthetic call sites so lock-order and
+# blocking analysis see through the instrumentation layer.
+MACRO_CALLEES: dict[str, tuple[str, ...]] = {
+    "TMERGE_FAILPOINT": ("fault::Registry::ShouldFail",),
+    "TMERGE_FAILPOINT_LATENCY": ("fault::Registry::LatencySpike",),
+    "TMERGE_TRACE_SCOPE": ("obs::TraceRecorder::Record",),
+    "TMERGE_TRACE_INSTANT": ("obs::TraceRecorder::Record",),
+    "TMERGE_TRACE_COUNTER": ("obs::TraceRecorder::Record",),
+    "TMERGE_SPAN": (
+        "obs::MetricsRegistry::GetHistogram",
+        "obs::TraceRecorder::Record",
+    ),
+}
+
+ANNOTATION_MACROS = (
+    "TMERGE_GUARDED_BY|TMERGE_PT_GUARDED_BY|TMERGE_REQUIRES|"
+    "TMERGE_REQUIRES_SHARED|TMERGE_ACQUIRE|TMERGE_RELEASE|"
+    "TMERGE_TRY_ACQUIRE|TMERGE_EXCLUDES|TMERGE_CAPABILITY|"
+    "TMERGE_SCOPED_CAPABILITY|TMERGE_RETURN_CAPABILITY|"
+    "TMERGE_ASSERT_CAPABILITY|TMERGE_NO_THREAD_SAFETY_ANALYSIS"
+)
+
+# Files that *define* the locking primitives; they are the vocabulary, not
+# subjects of the analysis.
+PRIMITIVE_FILES = {
+    "src/tmerge/core/mutex.h",
+    "src/tmerge/core/thread_annotations.h",
+}
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "alignof", "decltype", "assert", "defined", "else", "do",
+    "case", "not", "and", "or", "void", "int", "bool", "double", "float",
+    "char", "auto", "explicit", "operator", "noexcept", "template",
+    "typename", "using", "namespace", "static_assert",
+}
+
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks comments (and optionally string/char contents), preserving
+    every newline and column so offsets map back to the original text."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state, i = "line", i + 2
+                out.append("  ")
+                continue
+            if c == "/" and nxt == "*":
+                state, i = "block", i + 2
+                out.append("  ")
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state, i = "code", i + 2
+                out.append("  ")
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif keep_strings:
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+# --- regexes over blanked code --------------------------------------------
+
+_NAMESPACE_RE = re.compile(r"\bnamespace\s+((?:\w+(?:::\w+)*)?)\s*$")
+_CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:TMERGE_\w+(?:\([^()]*\))?\s+)*(\w+(?:::\w+)*)"
+    r"(?:\s+final)?(?:\s*:\s*(?!:)[^{;]*)?\s*$")
+_CONTROL_RE = re.compile(r"\b(?:if|for|while|switch|catch)\s*\($")
+_LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?(?:noexcept\s*)?"
+    r"(?:->\s*[\w:&<>*\s]+?)?\s*$")
+_FUNC_SIG_RE = re.compile(
+    r"(~?\w[\w:]*(?:<[^<>()]*>)?)\s*\(", re.DOTALL)
+_MUTEXLOCK_RE = re.compile(
+    r"\b(?:core::)?MutexLock\s+\w+\s*\(\s*([^()]+?)\s*\)\s*;")
+_CALL_RE = re.compile(
+    r"(?<![\w.:])((?:::)?[A-Za-z_]\w*(?:(?:::|\.|->)[A-Za-z_~]\w*)*)\s*\(")
+_CHAINED_CALL_RE = re.compile(r"\)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+_ANNOTATION_USE_RE = re.compile(r"\b(?:%s)\b" % ANNOTATION_MACROS)
+_MUTEX_USE_RE = re.compile(
+    r"\bcore::(?:Mutex|MutexLock|CondVar)\b|\b(?:MutexLock|CondVar)\b")
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+_GUARDED_BY_RE = re.compile(r"TMERGE_GUARDED_BY\s*\(\s*([^()]+?)\s*\)")
+_REQUIRES_RE = re.compile(r"TMERGE_REQUIRES\s*\(\s*([^()]+?)\s*\)")
+_EXCLUDES_RE = re.compile(r"TMERGE_EXCLUDES\s*\(\s*([^()]+?)\s*\)")
+_FIELD_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|constexpr\s+|inline\s+)*"
+    r"(const\s+)?([\w:]+(?:<.*>)?(?:\s*[*&])?)\s+"
+    r"(\w+)\s*(TMERGE_GUARDED_BY\s*\([^()]*\))?\s*(?:=[^;]*|\{[^{};]*\})?;")
+_LOCAL_DECL_RE = re.compile(
+    r"\b([A-Z]\w*(?:::\w+)*)&?\s+(\w+)\s*(?:;|=)")
+
+
+def _blank_template_args(text: str) -> str:
+    """Blanks the contents of balanced <...> spans (keeps length)."""
+    out = []
+    depth = 0
+    for ch in text:
+        if ch == "<":
+            depth += 1
+            out.append(ch)
+        elif ch == ">":
+            depth = max(0, depth - 1)
+            out.append(ch)
+        else:
+            out.append(" " if depth > 0 and ch != "\n" else ch)
+    return "".join(out)
+
+
+def _split_lines_offsets(text: str) -> list[int]:
+    """Start offset of each line (1-based indexable via bisect)."""
+    offsets = [0]
+    for m in re.finditer("\n", text):
+        offsets.append(m.end())
+    return offsets
+
+
+def _line_of(offsets: list[int], pos: int) -> int:
+    import bisect
+    return bisect.bisect_right(offsets, pos)
+
+
+class _FileParser:
+    """Single-file extraction pass (see module docstring)."""
+
+    def __init__(self, root: pathlib.Path, path: pathlib.Path, model: Model):
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.model = model
+        raw = path.read_text(encoding="utf-8")
+        self.raw = raw
+        self.code = strip_comments_and_strings(raw)            # no strings
+        self.code_s = strip_comments_and_strings(raw, True)    # with strings
+        self.offsets = _split_lines_offsets(raw)
+
+    def line(self, pos: int) -> int:
+        return _line_of(self.offsets, pos)
+
+    # -- pass 1: file facts (includes, primitive-usage lines) --------------
+
+    def collect_file_facts(self) -> None:
+        facts = FileFacts(path=self.rel)
+        for m in _INCLUDE_RE.finditer(self.code_s):
+            facts.includes.add(m.group(1))
+        if self.rel not in PRIMITIVE_FILES:
+            for lineno, line in enumerate(self.code.splitlines(), 1):
+                if _MUTEX_USE_RE.search(line):
+                    facts.mutex_use_lines.append(lineno)
+                if _ANNOTATION_USE_RE.search(line):
+                    facts.annotation_use_lines.append(lineno)
+        self.model.files[self.rel] = facts
+
+    # -- pass 2: structure (namespaces, classes, functions) -----------------
+
+    def parse(self) -> None:
+        self.collect_file_facts()
+        if self.rel in PRIMITIVE_FILES:
+            return
+        self._walk_structure()
+        self._harvest_names()
+
+    def _segment_before(self, pos: int) -> str:
+        """Code text from the previous structural delimiter up to pos."""
+        start = max(self.code.rfind(ch, 0, pos) for ch in ";{}")
+        return self.code[start + 1:pos].strip()
+
+    def _walk_structure(self) -> None:
+        code = self.code
+        stack: list[tuple[str, str | None, int]] = []  # (kind, name, depth)
+        depth = 0
+        i, n = 0, len(code)
+        while i < n:
+            c = code[i]
+            if c == "{":
+                seg = self._segment_before(i)
+                kind, name = self._classify_block(seg, stack)
+                depth += 1
+                stack.append((kind, name, depth))
+                if kind == "function":
+                    end = self._matching_brace(i)
+                    self._parse_function_body(seg, i, end, stack)
+                    # Skip the body; _parse_function_body handled it.
+                    depth -= 1
+                    stack.pop()
+                    i = end + 1
+                    continue
+                if kind == "class":
+                    end = self._matching_brace(i)
+                    self._parse_class_body(name, i + 1, end, stack)
+                    # Fall through: still walk inside for member function
+                    # definitions (inline methods).
+            elif c == "}":
+                if stack and stack[-1][2] == depth:
+                    stack.pop()
+                depth = max(0, depth - 1)
+            i += 1
+
+    def _namespace_prefix(self, stack) -> str:
+        parts = [name for kind, name, _ in stack if kind == "namespace" and name]
+        return "::".join(parts)
+
+    def _class_prefix(self, stack) -> str:
+        parts = [name for kind, name, _ in stack if kind == "namespace" and name]
+        parts += [name for kind, name, _ in stack if kind == "class"]
+        return "::".join(parts)
+
+    def _classify_block(self, seg: str, stack) -> tuple[str, str | None]:
+        if not seg:
+            return "block", None
+        m = _NAMESPACE_RE.search(seg)
+        if m is not None:
+            return "namespace", m.group(1)
+        m = _CLASS_RE.search(seg)
+        if m is not None and "enum" not in seg.split():
+            return "class", m.group(1)
+        if _LAMBDA_RE.search(seg):
+            return "lambda", None
+        if _CONTROL_RE.search(seg) or seg.endswith("else") or \
+                seg.endswith("do") or seg.endswith("try"):
+            return "block", None
+        sig = self._function_name_of(seg)
+        if sig is not None:
+            return "function", sig
+        return "block", None
+
+    def _function_name_of(self, seg: str) -> str | None:
+        """Extracts Class::Name from a segment that ends a function
+        signature (just before its body brace), or None."""
+        # The signature's parameter list is the last balanced (...) group;
+        # annotations/const/noexcept may follow it.
+        close = seg.rfind(")")
+        if close == -1:
+            return None
+        trailer = seg[close + 1:]
+        if not re.fullmatch(
+                r"(?:\s|const|noexcept|override|final|mutable|->.*|"
+                r"TMERGE_\w+(?:\([^()]*\))?|:\s*.*)*", trailer, re.DOTALL):
+            return None
+        # Constructor initializer lists (`: field_(x)`) end with ')' too;
+        # the regex above tolerates them via the `:` branch.
+        open_pos = self._matching_open_paren(seg, close)
+        if open_pos is None:
+            return None
+        head = seg[:open_pos]
+        # An initializer list means the real parameter list is earlier:
+        # `StreamService::StreamService(const ...& c) : config_(c)`.
+        colon = self._top_level_ctor_colon(head)
+        if colon is not None:
+            close2 = head.rfind(")", 0, colon)
+            if close2 == -1:
+                return None
+            open2 = self._matching_open_paren(head, close2)
+            if open2 is None:
+                return None
+            head = head[:open2]
+        m = re.search(r"(~?\w[\w:~]*)\s*$", head)
+        if m is None:
+            return None
+        name = m.group(1)
+        last = name.rsplit("::", 1)[-1]
+        if last in _KEYWORDS or name in _KEYWORDS:
+            return None
+        return name
+
+    def _top_level_ctor_colon(self, text: str) -> int | None:
+        depth = 0
+        for idx, ch in enumerate(text):
+            if ch in "(<[":
+                depth += 1
+            elif ch in ")>]":
+                depth -= 1
+            elif ch == ":" and depth == 0:
+                if idx + 1 < len(text) and text[idx + 1] == ":":
+                    continue
+                if idx > 0 and text[idx - 1] == ":":
+                    continue
+                return idx
+        return None
+
+    def _matching_open_paren(self, text: str, close: int) -> int | None:
+        depth = 0
+        for idx in range(close, -1, -1):
+            if text[idx] == ")":
+                depth += 1
+            elif idx < len(text) and text[idx] == "(":
+                depth -= 1
+                if depth == 0:
+                    return idx
+        return None
+
+    def _matching_brace(self, open_pos: int) -> int:
+        depth = 0
+        for idx in range(open_pos, len(self.code)):
+            if self.code[idx] == "{":
+                depth += 1
+            elif self.code[idx] == "}":
+                depth -= 1
+                if depth == 0:
+                    return idx
+        return len(self.code) - 1
+
+    # -- class bodies -------------------------------------------------------
+
+    def _parse_class_body(self, name: str, start: int, end: int, stack) -> None:
+        qualified = self._strip_tmerge(self._class_prefix(stack))
+        cls = self.model.classes.setdefault(
+            qualified,
+            ClassInfo(qualified=qualified, file=self.rel,
+                      line=self.line(start)))
+        body = self.code[start:end]
+        # Blank nested braces (methods, nested classes) so field regexes see
+        # only this class's declaration lines; nested classes were / will be
+        # visited by the structural walk.
+        flat = self._blank_nested_braces(body)
+        for m in re.finditer(r"[^;{}]*;", flat):
+            # Access-specifier labels glue onto the following declaration
+            # in the flattened body; strip them before classifying.
+            stmt = re.sub(r"\b(?:public|private|protected)\s*:", " ",
+                          m.group(0))
+            # A '(' outside template arguments means a method declaration
+            # (parens *inside* <...> are function types like
+            # std::function<void()> — still a field).
+            head = _blank_template_args(stmt.split("TMERGE_GUARDED_BY")[0])
+            if "(" in head:
+                # Method declaration — capture its REQUIRES/EXCLUDES.
+                self._parse_method_decl(stmt, qualified, start + m.start())
+                continue
+            fm = _FIELD_DECL_RE.match(stmt)
+            if fm is None:
+                continue
+            is_const, type_text, fname, guard = fm.groups()
+            if type_text in ("return", "using", "friend", "typedef", "class",
+                            "struct", "enum", "public", "private",
+                            "protected"):
+                continue
+            field = Field(
+                cls=qualified, name=fname, type_text=type_text.strip(),
+                line=self.line(start + m.start()),
+                is_const=bool(is_const))
+            base = type_text.replace("core::", "").strip()
+            field.is_mutex = base == "Mutex"
+            field.is_condvar = base == "CondVar"
+            field.is_atomic = "atomic" in type_text
+            if guard:
+                gm = _GUARDED_BY_RE.search(guard)
+                if gm:
+                    field.guarded_by = self._qualify_mutex(
+                        gm.group(1), qualified)
+            cls.fields[fname] = field
+
+    def _parse_method_decl(self, stmt: str, cls: str, pos: int) -> None:
+        requires = {m.group(1) for m in _REQUIRES_RE.finditer(stmt)}
+        excludes = {m.group(1) for m in _EXCLUDES_RE.finditer(stmt)}
+        if not requires and not excludes:
+            return
+        open_paren = stmt.find("(")
+        m = re.search(r"(~?\w+)\s*$", stmt[:open_paren])
+        if m is None:
+            return
+        qualified = f"{cls}::{m.group(1)}"
+        info = FunctionInfo(qualified=qualified, cls=cls, file=self.rel,
+                            line=self.line(pos))
+        info.requires = {self._qualify_mutex(r, cls) for r in requires}
+        info.excludes = {self._qualify_mutex(e, cls) for e in excludes}
+        existing = self.model.functions.get(qualified)
+        if existing is None:
+            self.model.functions[qualified] = info
+        else:
+            existing.merge_decl(info)
+
+    def _blank_nested_braces(self, body: str) -> str:
+        out = []
+        depth = 0
+        for ch in body:
+            if ch == "{":
+                depth += 1
+                out.append(" ")
+            elif ch == "}":
+                depth -= 1
+                out.append(";" if depth == 0 else " ")
+            else:
+                out.append(ch if depth == 0 or ch == "\n" else " ")
+        return "".join(out)
+
+    # -- function bodies ----------------------------------------------------
+
+    def _strip_tmerge(self, qualified: str) -> str:
+        return re.sub(r"^tmerge::", "", qualified)
+
+    def _enclosing_class(self, stack, func_name: str) -> str | None:
+        for kind, name, _ in reversed(stack[:-1]):
+            if kind == "class":
+                return self._strip_tmerge(self._class_prefix(stack[:-1]))
+        if "::" in func_name:
+            # Out-of-line definition: Class::Method — qualify with the
+            # namespace prefix.
+            ns = self._namespace_prefix(stack[:-1])
+            cls_part = func_name.rsplit("::", 1)[0]
+            full = f"{ns}::{cls_part}" if ns else cls_part
+            return self._strip_tmerge(full)
+        return None
+
+    def _qualify_mutex(self, expr: str, cls: str | None) -> str:
+        """Normalizes a mutex expression to Class::member where possible."""
+        expr = expr.strip()
+        if re.fullmatch(r"\w+", expr):
+            if cls is not None:
+                owner = self.model.classes.get(cls)
+                if owner is not None and expr in owner.fields:
+                    return f"{cls}::{expr}"
+                return f"{cls}::{expr}"
+            return expr
+        # `obj.member` / `obj->member`: resolve obj via known classes later;
+        # keep raw here, resolution happens in _parse_function_body where
+        # locals are visible.
+        return expr
+
+    def _parse_function_body(self, seg: str, open_pos: int, end: int,
+                             stack) -> None:
+        func_name = stack[-1][1] or "(anonymous)"
+        cls = self._enclosing_class(stack, func_name)
+        ns = self._namespace_prefix(stack)
+        short = func_name.rsplit("::", 1)[-1]
+        if cls is not None:
+            qualified = f"{cls}::{short}"
+        else:
+            qualified = self._strip_tmerge(
+                f"{ns}::{short}" if ns else short)
+        is_ctor = cls is not None and cls.rsplit("::", 1)[-1] == short
+        info = self.model.functions.get(qualified)
+        if info is None or info.has_body:
+            if info is not None and info.has_body:
+                # Overload of an already-seen function: analyze under a
+                # distinct key so neither body is dropped.
+                qualified = f"{qualified}@{self.line(open_pos)}"
+            info = FunctionInfo(qualified=qualified, cls=cls, file=self.rel,
+                                line=self.line(open_pos))
+            self.model.functions[qualified] = info
+        info.has_body = True
+        info.file = self.rel
+        info.line = self.line(open_pos)
+        for m in _REQUIRES_RE.finditer(seg):
+            info.requires.add(self._qualify_mutex(m.group(1), cls))
+        for m in _EXCLUDES_RE.finditer(seg):
+            info.excludes.add(self._qualify_mutex(m.group(1), cls))
+
+        body = self.code[open_pos + 1:end]
+        base = open_pos + 1
+
+        # Local declarations of known class types (for receiver typing).
+        locals_: dict[str, str] = {}
+        for lm in _LOCAL_DECL_RE.finditer(body):
+            type_name, var = lm.group(1), lm.group(2)
+            resolved = self._resolve_class_name(type_name, cls, ns)
+            if resolved is not None:
+                locals_[var] = resolved
+
+        # Lambda body ranges: calls inside run deferred, so they are
+        # attributed to a synthetic function, not charged against the
+        # enclosing function's held set.
+        lambda_ranges: list[tuple[int, int]] = []
+        for lm in re.finditer(
+                r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?\{", body):
+            lopen = lm.end() - 1
+            lclose = self._matching_brace_in(body, lopen)
+            lambda_ranges.append((lopen, lclose))
+
+        def in_lambda(pos: int) -> bool:
+            return any(a < pos < b for a, b in lambda_ranges)
+
+        # Events: brace open/close, MutexLock decls, calls. Processed in
+        # offset order with a depth-keyed stack of held mutexes.
+        events: list[tuple[int, str, object]] = []
+        for idx, ch in enumerate(body):
+            if ch == "{":
+                events.append((idx, "open", None))
+            elif ch == "}":
+                events.append((idx, "close", None))
+        for m in _MUTEXLOCK_RE.finditer(body):
+            expr = self._resolve_mutex_expr(m.group(1), cls, locals_)
+            events.append((m.start(), "lock", (expr, m.start())))
+        for m in _CALL_RE.finditer(body):
+            events.append((m.start(), "call", m))
+        for m in _CHAINED_CALL_RE.finditer(body):
+            events.append((m.start(1), "chain", m))
+        write_pat = self._field_write_pattern(cls)
+        if write_pat is not None:
+            for m in write_pat.finditer(body):
+                events.append((m.start(), "write", m))
+        events.sort(key=lambda e: (e[0], e[1] == "open"))
+
+        depth = 0
+        held: list[tuple[int, str]] = []  # (depth at decl, mutex)
+        if not is_ctor:
+            held.extend((-1, r) for r in info.requires)
+
+        lambda_held: dict[int, list[tuple[int, str]]] = {}
+
+        def current_held(pos: int) -> tuple[str, ...]:
+            if in_lambda(pos):
+                for (a, b) in lambda_ranges:
+                    if a < pos < b:
+                        return tuple(m for _, m in lambda_held.get(a, []))
+                return ()
+            return tuple(m for _, m in held)
+
+        for pos, kind, payload in events:
+            if kind == "open":
+                depth += 1
+            elif kind == "close":
+                if in_lambda(pos + 1) or any(pos == b for _, b in lambda_ranges):
+                    pass
+                while held and held[-1][0] == depth:
+                    held.pop()
+                for a in list(lambda_held):
+                    lambda_held[a] = [e for e in lambda_held[a]
+                                      if e[0] != depth]
+                depth = max(0, depth - 1)
+            elif kind == "lock":
+                expr, _ = payload
+                if in_lambda(pos):
+                    for (a, b) in lambda_ranges:
+                        if a < pos < b:
+                            lambda_held.setdefault(a, []).append((depth, expr))
+                            info.acquires.append(Acquisition(
+                                mutex=expr, file=self.rel,
+                                line=self.line(base + pos),
+                                held=tuple(m for _, m
+                                           in lambda_held.get(a, [])[:-1])))
+                            break
+                else:
+                    info.acquires.append(Acquisition(
+                        mutex=expr, file=self.rel, line=self.line(base + pos),
+                        held=tuple(m for _, m in held)))
+                    held.append((depth, expr))
+            elif kind in ("call", "chain"):
+                m = payload
+                chain = m.group(1)
+                short_name = re.split(r"::|\.|->", chain)[-1]
+                if short_name in _KEYWORDS or chain.rsplit(
+                        "::", 1)[-1] in _KEYWORDS:
+                    continue
+                if kind == "call" and re.fullmatch(
+                        r"(?:core::)?MutexLock|MutexLock", chain):
+                    continue
+                first_arg = self._first_arg(body, m.end())
+                site = CallSite(
+                    callee=chain, raw=chain, file=self.rel,
+                    line=self.line(base + m.start(1) if kind == "chain"
+                                   else base + m.start()),
+                    held=current_held(m.start()),
+                    first_arg=first_arg,
+                    in_lambda=in_lambda(m.start()))
+                self._resolve_call(site, cls, locals_)
+                info.calls.append(site)
+                if chain in MACRO_CALLEES:
+                    for target in MACRO_CALLEES[chain]:
+                        info.calls.append(dataclasses.replace(
+                            site, callee=target, raw=chain))
+            elif kind == "write":
+                m = payload
+                info.writes.append(FieldWrite(
+                    cls=cls, field=m.group(1) or m.group(2), file=self.rel,
+                    line=self.line(base + m.start()),
+                    held=current_held(m.start()), in_ctor=is_ctor))
+
+    def _field_write_pattern(self, cls: str | None) -> re.Pattern | None:
+        """Regex matching mutations of `cls`'s own data members: prefix and
+        postfix ++/--, (compound) assignment, and mutating container calls.
+        `obj.field` accesses are excluded by the lookbehind — only writes to
+        the enclosing object's members count."""
+        if cls is None:
+            return None
+        owner = self.model.classes.get(cls)
+        if owner is None or not owner.fields:
+            return None
+        names = "|".join(re.escape(n) for n in sorted(owner.fields))
+        mutators = ("push_back|pop_front|pop_back|push_front|clear|insert|"
+                    "erase|emplace|emplace_back|assign|reserve|resize|store|"
+                    "swap|reset")
+        return re.compile(
+            rf"(?:(?:\+\+|--)\s*({names})\b"
+            rf"|(?<![\w.:>])({names})\s*"
+            rf"(?:=(?!=)|[+\-*/%|&^]=|<<=|>>=|\+\+|--"
+            rf"|\.(?:{mutators})\s*\())")
+
+    def _matching_brace_in(self, text: str, open_pos: int) -> int:
+        depth = 0
+        for idx in range(open_pos, len(text)):
+            if text[idx] == "{":
+                depth += 1
+            elif text[idx] == "}":
+                depth -= 1
+                if depth == 0:
+                    return idx
+        return len(text) - 1
+
+    def _resolve_class_name(self, type_name: str, cls: str | None,
+                            ns: str) -> str | None:
+        type_name = self._strip_tmerge(type_name)
+        candidates = [type_name]
+        if cls is not None:
+            candidates.append(f"{cls}::{type_name}")
+        if ns:
+            candidates.append(
+                self._strip_tmerge(f"{ns}::{type_name}"))
+        for cand in candidates:
+            if cand in self.model.classes:
+                return cand
+        # Last-segment match (unique suffix).
+        tail = type_name.rsplit("::", 1)[-1]
+        matches = [q for q in self.model.classes
+                   if q.rsplit("::", 1)[-1] == tail]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _resolve_mutex_expr(self, expr: str, cls: str | None,
+                            locals_: dict[str, str]) -> str:
+        expr = expr.strip()
+        m = re.fullmatch(r"(\w+)\s*(?:\.|->)\s*(\w+)", expr)
+        if m is not None:
+            obj, member = m.groups()
+            owner = locals_.get(obj)
+            if owner is None and cls is not None:
+                # Maybe obj is a member of cls with a known class type.
+                owner_cls = self.model.classes.get(cls)
+                if owner_cls is not None and obj in owner_cls.fields:
+                    owner = self._resolve_class_name(
+                        owner_cls.fields[obj].type_text, cls, "")
+            if owner is not None:
+                return f"{owner}::{member}"
+            return expr
+        if re.fullmatch(r"\w+", expr):
+            return self._qualify_mutex(expr, cls)
+        return expr
+
+    def _first_arg(self, body: str, after_paren: int) -> str:
+        depth = 1
+        out = []
+        for idx in range(after_paren, min(len(body), after_paren + 400)):
+            ch = body[idx]
+            if ch in "(<[":
+                depth += 1
+            elif ch in ")>]":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif ch == "," and depth == 1:
+                break
+            out.append(ch)
+        return "".join(out).strip()
+
+    def _type_of_expr(self, name: str, cls: str | None,
+                      locals_: dict[str, str]) -> str | None:
+        """Best-effort type of a bare identifier: local, member, or this."""
+        if name == "this":
+            return cls
+        if name in locals_:
+            return locals_[name]
+        if cls is not None:
+            owner_cls = self.model.classes.get(cls)
+            if owner_cls is not None and name in owner_cls.fields:
+                return self._field_type(owner_cls.fields[name], cls)
+        return None
+
+    def _field_type(self, field: Field, cls: str) -> str | None:
+        if field.is_mutex:
+            return "core::Mutex"
+        if field.is_condvar:
+            return "core::CondVar"
+        return self._resolve_class_name(
+            re.sub(r"(?:std::unique_ptr|std::shared_ptr)<(.+)>", r"\1",
+                   field.type_text).strip("*& "), cls, "")
+
+    def _resolve_call(self, site: CallSite, cls: str | None,
+                      locals_: dict[str, str]) -> None:
+        chain = site.raw
+        if chain in MACRO_CALLEES or (chain in NAME_SITES and
+                                      chain.startswith("TMERGE_")):
+            return
+        segs = re.split(r"\.|->", chain)
+        method = segs[-1].rsplit("::", 1)[-1]
+        if len(segs) >= 2:
+            # Member call: type the receiver chain left to right.
+            cur = self._type_of_expr(segs[0].rsplit("::", 1)[-1], cls, locals_)
+            for seg in segs[1:-1]:
+                if cur is None:
+                    break
+                owner_cls = self.model.classes.get(cur)
+                if owner_cls is not None and seg in owner_cls.fields:
+                    cur = self._field_type(owner_cls.fields[seg], cur)
+                else:
+                    cur = None
+            if cur is not None:
+                site.callee = f"{cur}::{method}"
+                if site.callee == "core::CondVar::Wait":
+                    site.first_arg = self._resolve_mutex_expr(
+                        site.first_arg, cls, locals_)
+                return
+        elif "::" not in chain and cls is not None:
+            # Unqualified call inside a class: prefer a sibling method.
+            if f"{cls}::{method}" in self.model.functions:
+                site.callee = f"{cls}::{method}"
+                return
+        # Fallback: unique method-name match across known functions
+        # (rules.py re-resolves against the final merged index).
+        site.callee = chain
+
+    # -- name harvesting ----------------------------------------------------
+
+    def _harvest_names(self) -> None:
+        pattern = re.compile(
+            r"\b(%s)\s*\(\s*\"([^\"]*)\"" % "|".join(
+                re.escape(k) for k in NAME_SITES))
+        for m in pattern.finditer(self.code_s):
+            callee, literal = m.group(1), m.group(2)
+            self.model.name_uses.append(NameUse(
+                name=literal, kind=NAME_SITES[callee], file=self.rel,
+                line=self.line(m.start())))
+        # Fault-spec strings: "a.b=0.3;c.d=0.1@0.05" arm the named points.
+        spec_pattern = re.compile(
+            r"\bApplySpec\s*\(\s*\"([^\"]*)\"")
+        for m in spec_pattern.finditer(self.code_s):
+            for entry in m.group(1).split(";"):
+                if "=" in entry:
+                    self.model.name_uses.append(NameUse(
+                        name=entry.split("=", 1)[0].strip(), kind="failpoint",
+                        file=self.rel, line=self.line(m.start())))
+
+
+def harvest_names_only(root: pathlib.Path, path: pathlib.Path,
+                       model: Model) -> None:
+    """Name-literal harvest for files outside the semantic scope (bench/,
+    tests/): only NameUses are recorded, no classes/functions/facts."""
+    _FileParser(root, path, model)._harvest_names()
+
+
+def build_model(root: pathlib.Path, files: Iterable[pathlib.Path]) -> Model:
+    """Parses `files` (two passes: classes first so receiver typing works,
+    then bodies) into one Model."""
+    model = Model()
+    parsers = [_FileParser(root, path, model) for path in sorted(files)]
+    # Pass 1: collect classes/fields from every file (headers declare the
+    # classes whose out-of-line methods live in the .cc files).
+    for parser in parsers:
+        parser.collect_file_facts()
+        if parser.rel in PRIMITIVE_FILES:
+            continue
+        parser._walk_structure_classes_only()
+    # Pass 2: full structural walk with the class index available.
+    for parser in parsers:
+        if parser.rel in PRIMITIVE_FILES:
+            continue
+        parser._walk_structure()
+        parser._harvest_names()
+    return model
+
+
+def _walk_structure_classes_only(self) -> None:
+    """First pass: classes and fields only (no function bodies)."""
+    code = self.code
+    stack: list[tuple[str, str | None, int]] = []
+    depth = 0
+    i, n = 0, len(code)
+    while i < n:
+        c = code[i]
+        if c == "{":
+            seg = self._segment_before(i)
+            kind, name = self._classify_block(seg, stack)
+            depth += 1
+            stack.append((kind, name, depth))
+            if kind == "function":
+                end = self._matching_brace(i)
+                depth -= 1
+                stack.pop()
+                i = end + 1
+                continue
+            if kind == "class":
+                end = self._matching_brace(i)
+                self._parse_class_body(name, i + 1, end, stack)
+        elif c == "}":
+            if stack and stack[-1][2] == depth:
+                stack.pop()
+            depth = max(0, depth - 1)
+        i += 1
+
+
+_FileParser._walk_structure_classes_only = _walk_structure_classes_only

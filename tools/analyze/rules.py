@@ -1,0 +1,570 @@
+#!/usr/bin/env python3
+"""Analysis rules over the Model produced by a frontend (builtin/libclang).
+
+Rules (ids are stable — suppressions.json and the selftest corpus key on
+them):
+
+  lock-order          static lock-graph extraction: any cycle, and any edge
+                      that does not go strictly forward in the canonical
+                      order (tools/analyze/lock_order.json), is a finding.
+  blocking-under-mutex condvar waits on a *different* mutex, ParallelFor,
+                      file I/O, trace snapshots/dumps, sleeps and joins
+                      while holding any mutex. Per-site allowlist entries in
+                      suppressions.json must cite a DESIGN.md liveness
+                      argument (design_ref must literally occur there).
+  guarded-by          fields of mutex-owning classes mutated under a held
+                      class mutex but not TMERGE_GUARDED_BY-annotated, or
+                      annotated with a different mutex than the one held.
+  include-hygiene     files using Mutex/MutexLock/CondVar or TMERGE_*
+                      annotation macros must directly include
+                      tmerge/core/mutex.h / tmerge/core/thread_annotations.h
+                      rather than lean on transitive includes.
+  name-registry       every metric/span/trace/failpoint name literal in src/
+                      must be listed in registry.json and vice versa; names
+                      in bench/tests/CI/docs whose family (first dotted
+                      segment) is a registry family must be listed too.
+  suppression         stale or incomplete suppressions.json entries (wrong
+                      rule id, never matched, or missing/unknown design_ref)
+                      — this is what makes "zero unexplained suppressions"
+                      enforceable rather than aspirational.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import re
+
+import cpp_model
+from cpp_model import Model, FunctionInfo
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class LockEdge:
+    src: str
+    dst: str
+    witness_file: str
+    witness_line: int
+    via: str          # "<holder_fn> -> <callee_fn>" or "direct acquire"
+
+
+class Config:
+    """Analyzer configuration living next to the sources it describes."""
+
+    def __init__(self, config_dir: pathlib.Path, design_path: pathlib.Path):
+        self.dir = config_dir
+        self.lock_order: list[str] = []
+        self.suppressions: list[dict] = []
+        self.registry: dict = {"metrics": [], "traces": [], "failpoints": [],
+                               "fixtures": []}
+        lock_path = config_dir / "lock_order.json"
+        if lock_path.exists():
+            self.lock_order = json.loads(lock_path.read_text())["order"]
+        supp_path = config_dir / "suppressions.json"
+        if supp_path.exists():
+            self.suppressions = json.loads(supp_path.read_text())
+        reg_path = config_dir / "registry.json"
+        if reg_path.exists():
+            self.registry.update(json.loads(reg_path.read_text()))
+        self.design_text = ""
+        if design_path.exists():
+            self.design_text = design_path.read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Call resolution against the merged function index.
+# ---------------------------------------------------------------------------
+
+
+def finalize_resolution(model: Model) -> None:
+    """Resolves leftover raw call chains by unique method name."""
+    index = model.function_index()
+    for fn in model.functions.values():
+        for site in fn.calls:
+            if site.callee in model.functions or "::" in site.callee and \
+                    site.callee.startswith(("core::", "obs::", "fault::")):
+                continue
+            short = re.split(r"::|\.|->", site.callee)[-1]
+            matches = index.get(short, [])
+            if len(matches) == 1:
+                site.callee = matches[0].qualified
+
+
+def may_acquire(model: Model) -> dict[str, set[str]]:
+    """Fixpoint: the set of mutexes each function may take (transitively),
+    excluding work deferred through lambdas (executed later, lock-free from
+    the caller's perspective)."""
+    acq: dict[str, set[str]] = {
+        q: {a.mutex for a in fn.acquires}
+        for q, fn in model.functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for q, fn in model.functions.items():
+            for site in fn.calls:
+                if site.in_lambda:
+                    continue
+                extra = acq.get(site.callee)
+                if extra and not extra <= acq[q]:
+                    acq[q] |= extra
+                    changed = True
+    return acq
+
+
+def lock_edges(model: Model) -> list[LockEdge]:
+    acq = may_acquire(model)
+    edges: list[LockEdge] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def add(src: str, dst: str, file: str, line: int, via: str) -> None:
+        if src == dst:
+            return
+        key = (src, dst, via)
+        if key in seen:
+            return
+        seen.add(key)
+        edges.append(LockEdge(src, dst, file, line, via))
+
+    for fn in model.functions.values():
+        for a in fn.acquires:
+            for held in a.held:
+                add(held, a.mutex, a.file, a.line,
+                    f"{fn.qualified} (direct acquire)")
+        for site in fn.calls:
+            if site.in_lambda or not site.held:
+                continue
+            for target in acq.get(site.callee, ()):  # transitive acquires
+                for held in site.held:
+                    add(held, target, site.file, site.line,
+                        f"{fn.qualified} -> {site.callee}")
+    return edges
+
+
+def check_lock_order(model: Model, config: Config) -> list[Finding]:
+    findings: list[Finding] = []
+    edges = lock_edges(model)
+    adj: dict[str, list[LockEdge]] = {}
+    for e in edges:
+        adj.setdefault(e.src, []).append(e)
+
+    # Cycle detection (DFS with colors), independent of the declared order.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+
+    def dfs(node: str, path: list[LockEdge]) -> list[LockEdge] | None:
+        color[node] = GREY
+        for e in adj.get(node, []):
+            if color.get(e.dst, WHITE) == GREY:
+                return path + [e]
+            if color.get(e.dst, WHITE) == WHITE:
+                cyc = dfs(e.dst, path + [e])
+                if cyc is not None:
+                    return cyc
+        color[node] = BLACK
+        return None
+
+    for node in sorted(adj):
+        if color.get(node, WHITE) == WHITE:
+            cyc = dfs(node, [])
+            if cyc is not None:
+                desc = " -> ".join([cyc[0].src] + [e.dst for e in cyc])
+                findings.append(Finding(
+                    "lock-order", cyc[-1].witness_file, cyc[-1].witness_line,
+                    f"lock-order cycle: {desc} "
+                    f"(via {cyc[-1].via})"))
+
+    order = {name: i for i, name in enumerate(config.lock_order)}
+    for e in edges:
+        if e.src not in order:
+            findings.append(Finding(
+                "lock-order", e.witness_file, e.witness_line,
+                f"mutex '{e.src}' participates in the lock graph but is "
+                f"not in the canonical lock order (lock_order.json)"))
+            continue
+        if e.dst not in order:
+            findings.append(Finding(
+                "lock-order", e.witness_file, e.witness_line,
+                f"mutex '{e.dst}' participates in the lock graph but is "
+                f"not in the canonical lock order (lock_order.json)"))
+            continue
+        if order[e.src] >= order[e.dst]:
+            findings.append(Finding(
+                "lock-order", e.witness_file, e.witness_line,
+                f"edge {e.src} -> {e.dst} (via {e.via}) goes backwards in "
+                f"the canonical lock order"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Blocking-under-mutex.
+# ---------------------------------------------------------------------------
+
+_BLOCKING_IO = {"fopen", "fclose", "fprintf", "fputs", "fwrite", "fread",
+                "fflush", "fscanf", "fgets", "remove", "rename",
+                "ofstream", "ifstream", "fstream", "getline"}
+_BLOCKING_SLEEP = {"sleep_for", "sleep_until", "usleep", "nanosleep",
+                   "sleep"}
+_BLOCKING_MISC = {"join", "ParallelFor"}
+# Whole-buffer trace dumps: quiesce/iterate every thread ring.
+_BLOCKING_TRACE = {"Snapshot", "ExportChromeTrace", "WriteChromeTraceFile",
+                   "DumpTrace"}
+
+
+def _blocking_kind(site) -> str | None:
+    short = re.split(r"::|\.|->", site.callee)[-1]
+    if site.callee == "core::CondVar::Wait":
+        return "condvar-wait"
+    if short in _BLOCKING_IO:
+        return "file I/O"
+    if short in _BLOCKING_SLEEP:
+        return "sleep"
+    if short in _BLOCKING_MISC:
+        return short
+    if short in _BLOCKING_TRACE:
+        return "trace dump"
+    return None
+
+
+def check_blocking(model: Model, config: Config) -> list[Finding]:
+    findings: list[Finding] = []
+    matched_suppressions: set[int] = set()
+    for fn in model.functions.values():
+        for site in fn.calls:
+            if not site.held:
+                continue
+            kind = _blocking_kind(site)
+            if kind is None:
+                continue
+            if kind == "condvar-wait":
+                # Waiting on the mutex you hold is the sanctioned pattern
+                # (the wait atomically releases it). Holding any *other*
+                # mutex across the wait is the deadlock-shaped finding.
+                others = [h for h in site.held if h != site.first_arg]
+                if not others:
+                    continue
+                msg = (f"CondVar wait on '{site.first_arg}' while also "
+                       f"holding {', '.join(others)} in {fn.qualified} — "
+                       f"the held mutex is not released across the wait")
+            else:
+                msg = (f"{kind} ('{site.raw}') under held mutex "
+                       f"{', '.join(site.held)} in {fn.qualified}")
+            sup = _match_suppression(config, "blocking-under-mutex",
+                                     fn.qualified, site.raw)
+            if sup is not None:
+                matched_suppressions.add(id(sup))
+                continue
+            findings.append(Finding("blocking-under-mutex", site.file,
+                                    site.line, msg))
+    findings.extend(_check_suppressions(config, "blocking-under-mutex",
+                                        matched_suppressions))
+    return findings
+
+
+def _match_suppression(config: Config, rule: str, function: str,
+                       callee: str) -> dict | None:
+    for sup in config.suppressions:
+        if sup.get("rule") != rule:
+            continue
+        if sup.get("function") == function and sup.get("callee") == callee:
+            return sup
+    return None
+
+
+def _check_suppressions(config: Config, rule: str,
+                        matched: set[int]) -> list[Finding]:
+    """A suppression must (a) have matched a real site this run and (b)
+    cite a design_ref that literally occurs in DESIGN.md. Anything else is
+    an *unexplained* suppression and fails the build."""
+    findings = []
+    for sup in config.suppressions:
+        if sup.get("rule") != rule:
+            continue
+        where = f"{sup.get('function')} / {sup.get('callee')}"
+        if id(sup) not in matched:
+            findings.append(Finding(
+                "suppression", "tools/analyze/suppressions.json", 1,
+                f"stale suppression for {rule} at {where}: no such site "
+                f"fires anymore — delete it"))
+            continue
+        ref = sup.get("design_ref", "")
+        if not ref or ref not in config.design_text:
+            findings.append(Finding(
+                "suppression", "tools/analyze/suppressions.json", 1,
+                f"suppression for {rule} at {where} must cite a liveness "
+                f"argument present in DESIGN.md (design_ref: {ref!r} "
+                f"not found)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# TMERGE_GUARDED_BY coverage.
+# ---------------------------------------------------------------------------
+
+
+def check_guarded_by(model: Model, config: Config) -> list[Finding]:
+    findings: list[Finding] = []
+    reported: set[tuple[str, str, str]] = set()
+    for fn in model.functions.values():
+        for w in fn.writes:
+            if w.in_ctor:
+                continue
+            cls = model.classes.get(w.cls)
+            if cls is None:
+                continue
+            field = cls.fields.get(w.field)
+            if field is None or field.is_mutex or field.is_condvar or \
+                    field.is_atomic or field.is_const:
+                continue
+            class_mutexes = {f"{w.cls}::{m.name}" for m in cls.mutexes}
+            held_class_mutexes = class_mutexes & set(w.held)
+            if not held_class_mutexes:
+                continue
+            if field.guarded_by is None:
+                key = (w.cls, w.field, "unannotated")
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(Finding(
+                    "guarded-by", cls.file, field.line,
+                    f"{w.cls}::{w.field} is mutated under "
+                    f"{', '.join(sorted(held_class_mutexes))} "
+                    f"({w.file}:{w.line}) but carries no TMERGE_GUARDED_BY "
+                    f"annotation"))
+            elif field.guarded_by not in w.held:
+                key = (w.cls, w.field, "wrong-mutex")
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(Finding(
+                    "guarded-by", cls.file, field.line,
+                    f"{w.cls}::{w.field} is annotated "
+                    f"TMERGE_GUARDED_BY({field.guarded_by}) but mutated at "
+                    f"{w.file}:{w.line} holding "
+                    f"{', '.join(sorted(held_class_mutexes))} instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Include hygiene.
+# ---------------------------------------------------------------------------
+
+_MUTEX_HEADER = "tmerge/core/mutex.h"
+_ANNOTATIONS_HEADER = "tmerge/core/thread_annotations.h"
+
+
+def check_includes(model: Model, config: Config) -> list[Finding]:
+    findings = []
+    for path, facts in sorted(model.files.items()):
+        if path in cpp_model.PRIMITIVE_FILES:
+            continue
+        if facts.mutex_use_lines and _MUTEX_HEADER not in facts.includes:
+            findings.append(Finding(
+                "include-hygiene", path, facts.mutex_use_lines[0],
+                f"uses Mutex/MutexLock/CondVar but does not directly "
+                f"include \"{_MUTEX_HEADER}\" (transitive includes are not "
+                f"a contract)"))
+        if facts.annotation_use_lines and \
+                _ANNOTATIONS_HEADER not in facts.includes and \
+                _MUTEX_HEADER not in facts.includes:
+            # mutex.h re-exports the annotation macros by design (it cannot
+            # be used without them), so either direct include satisfies the
+            # rule; leaning on any other transitive path does not.
+            findings.append(Finding(
+                "include-hygiene", path, facts.annotation_use_lines[0],
+                f"uses TMERGE_* thread-safety annotation macros but does "
+                f"not directly include \"{_ANNOTATIONS_HEADER}\""))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Cross-artifact name registry.
+# ---------------------------------------------------------------------------
+
+_KIND_TO_BUCKET = {
+    "counter": "metrics",
+    "gauge": "metrics",
+    "histogram": "metrics",
+    "labeled_base": "metrics",
+    "span": "metrics",      # spans also register in traces (checked below)
+    "trace": "traces",
+    "failpoint": "failpoints",
+}
+
+_DOC_TOKEN_RE = re.compile(r"\b[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+\b")
+# Dotted tokens that are file names, not instrument names.
+_FILE_EXT_RE = re.compile(
+    r"\.(?:h|hh|hpp|cc|cpp|c|py|sh|json|jsonl|md|yml|yaml|txt|csv|dot|log)$")
+
+
+def check_registry(model: Model, config: Config,
+                   root: pathlib.Path,
+                   extra_texts: dict[str, str]) -> list[Finding]:
+    findings: list[Finding] = []
+    reg = config.registry
+    buckets = {b: set(reg.get(b, [])) for b in
+               ("metrics", "traces", "failpoints", "fixtures")}
+    all_listed = set().union(*buckets.values())
+
+    # Direction 1: every name used in src/ is registry-listed in its bucket.
+    used_src: set[str] = set()
+    reported: set[tuple[str, str]] = set()
+    for use in model.name_uses:
+        if not use.name or "%" in use.name or "{" in use.name:
+            continue  # dynamic / formatted names are out of scope
+        in_src = use.file.startswith("src/")
+        bucket = _KIND_TO_BUCKET[use.kind]
+        if in_src:
+            used_src.add(use.name)
+        want = buckets[bucket]
+        if use.kind == "span":
+            want = buckets["metrics"] | buckets["traces"]
+        if not in_src:
+            # bench/tests: only police names in registry families.
+            if _family(use.name) not in _families(all_listed):
+                continue
+            want = all_listed
+        if use.name not in want and use.name not in buckets["fixtures"]:
+            key = (use.name, use.file)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(Finding(
+                "name-registry", use.file, use.line,
+                f"{use.kind} name '{use.name}' is not listed in "
+                f"tools/analyze/registry.json ({bucket})"))
+
+    # Direction 2: every registry-listed name (except fixtures) is actually
+    # used somewhere in src/ — removal drift fails here.
+    for bucket_name in ("metrics", "traces", "failpoints"):
+        for name in sorted(buckets[bucket_name]):
+            if name not in used_src:
+                findings.append(Finding(
+                    "name-registry", "tools/analyze/registry.json", 1,
+                    f"registry lists {bucket_name} name '{name}' but no "
+                    f"src/ site uses it — stale entry"))
+
+    # Direction 3: dotted tokens in CI config and docs that live in a
+    # registry family must be listed (catches goldens/docs drift).
+    families = _families(all_listed)
+    for label, text in extra_texts.items():
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for m in _DOC_TOKEN_RE.finditer(line):
+                token = m.group(0)
+                if _family(token) not in families:
+                    continue
+                if _FILE_EXT_RE.search(token):
+                    continue
+                if token in all_listed:
+                    continue
+                if any(token.startswith(n + ".") or n.startswith(token + ".")
+                       for n in all_listed):
+                    # A prefix of a listed name (docs often cite families).
+                    continue
+                key = (token, label)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(Finding(
+                    "name-registry", label, lineno,
+                    f"name '{token}' looks like a registry-family metric/"
+                    f"trace/failpoint but is not listed in registry.json"))
+    return findings
+
+
+def _family(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _families(names: set[str]) -> set[str]:
+    return {_family(n) for n in names}
+
+
+# ---------------------------------------------------------------------------
+# Registry generation & lock-graph export.
+# ---------------------------------------------------------------------------
+
+
+def generate_registry(model: Model, fixtures: list[str]) -> dict:
+    buckets: dict[str, set[str]] = {
+        "metrics": set(), "traces": set(), "failpoints": set()}
+    for use in model.name_uses:
+        if not use.file.startswith("src/"):
+            continue
+        if not use.name or "%" in use.name or "{" in use.name:
+            continue
+        bucket = _KIND_TO_BUCKET[use.kind]
+        buckets[bucket].add(use.name)
+        if use.kind == "span":
+            buckets["traces"].add(use.name)
+    return {
+        "metrics": sorted(buckets["metrics"]),
+        "traces": sorted(buckets["traces"]),
+        "failpoints": sorted(buckets["failpoints"]),
+        "fixtures": sorted(fixtures),
+    }
+
+
+def lock_graph_json(model: Model, config: Config) -> dict:
+    edges = lock_edges(model)
+    nodes = sorted({e.src for e in edges} | {e.dst for e in edges} |
+                   set(config.lock_order))
+    order = {name: i for i, name in enumerate(config.lock_order)}
+    return {
+        "canonical_order": config.lock_order,
+        "nodes": [{"mutex": n, "rank": order.get(n)} for n in nodes],
+        "edges": [{
+            "from": e.src, "to": e.dst,
+            "witness": f"{e.witness_file}:{e.witness_line}",
+            "via": e.via,
+        } for e in sorted(edges, key=lambda e: (e.src, e.dst, e.via))],
+    }
+
+
+def lock_graph_dot(graph: dict) -> str:
+    lines = ["digraph tmerge_locks {", "  rankdir=LR;",
+             "  node [shape=box, fontname=\"monospace\"];"]
+    for node in graph["nodes"]:
+        rank = node["rank"]
+        label = node["mutex"] if rank is None else \
+            f"{node['mutex']}\\n(rank {rank})"
+        lines.append(f"  \"{node['mutex']}\" [label=\"{label}\"];")
+    seen = set()
+    for e in graph["edges"]:
+        key = (e["from"], e["to"])
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(
+            f"  \"{e['from']}\" -> \"{e['to']}\" "
+            f"[label=\"{e['witness']}\"];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+ALL_RULES = ("lock-order", "blocking-under-mutex", "guarded-by",
+             "include-hygiene", "name-registry", "suppression")
+
+
+def run_all(model: Model, config: Config, root: pathlib.Path,
+            extra_texts: dict[str, str]) -> list[Finding]:
+    finalize_resolution(model)
+    findings: list[Finding] = []
+    findings += check_lock_order(model, config)
+    findings += check_blocking(model, config)
+    findings += check_guarded_by(model, config)
+    findings += check_includes(model, config)
+    findings += check_registry(model, config, root, extra_texts)
+    findings.sort(key=lambda f: (f.rule, f.file, f.line))
+    return findings

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""tmerge semantic static-analysis driver.
+
+Runs the lock-order / blocking-under-mutex / guarded-by / include-hygiene /
+name-registry rules (rules.py) over a Model of the C++ tree and exits
+non-zero on any finding. Registered as a tier-1 ctest (`tmerge_analyze`)
+and run as the blocking `semantic-analysis` CI job.
+
+Frontends:
+  --frontend builtin   pure-Python reader (cpp_model.py) — always available,
+                       fully covered by the selftest corpus.
+  --frontend libclang  real AST via python clang bindings + a compilation
+                       database (clang_frontend.py) — used in CI where the
+                       pinned toolchain ships libclang.
+  --frontend auto      libclang when importable, else a loud fallback to
+                       builtin (never a silent skip).
+
+The compilation database gate (--compdb) is deliberate even for the builtin
+frontend: it proves the analyzed file set matches what the build actually
+compiles, so dead files can't carry stale annotations through the check.
+Pass --compdb none only for corpus trees without a build (selftests).
+
+Exit codes: 0 clean, 1 findings, 2 configuration/usage error.
+
+Usage:
+  tools/analyze/tmerge_analyze.py [--root R] [--compdb build/compile_commands.json]
+      [--frontend auto|builtin|libclang] [--config-dir tools/analyze]
+      [--design DESIGN.md] [--emit-lock-graph out.json] [--emit-dot out.dot]
+      [--emit-registry registry.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import cpp_model  # noqa: E402
+import rules      # noqa: E402
+
+# Artifacts outside src/ whose metric/trace/failpoint references must not
+# drift from the registry (rule: name-registry, direction 3).
+EXTRA_TEXT_FILES = (
+    ".github/workflows/ci.yml",
+    "README.md",
+    "DESIGN.md",
+)
+
+
+def repo_files(root: pathlib.Path) -> list[pathlib.Path]:
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(list(src.rglob("*.h")) + list(src.rglob("*.cc")))
+
+
+def harvest_files(root: pathlib.Path) -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    for sub in ("bench", "tests"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(list(base.rglob("*.cc")) + list(base.rglob("*.h"))):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("tests/static/"):
+                continue  # corpus trees use deliberately fake names
+            out.append(path)
+    return out
+
+
+def check_compdb(root: pathlib.Path, compdb: pathlib.Path,
+                 files: list[pathlib.Path]) -> pathlib.Path:
+    if not compdb.is_file():
+        sys.exit(f"error: compilation database not found at {compdb}.\n"
+                 f"Configure the build first (CMAKE_EXPORT_COMPILE_COMMANDS "
+                 f"is always on):  cmake -B build -S {root}\n"
+                 f"or pass --compdb none for a corpus tree.")
+    try:
+        entries = json.loads(compdb.read_text())
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {compdb} is not valid JSON: {exc}")
+    listed = set()
+    for entry in entries:
+        listed.add((pathlib.Path(entry["directory"]) /
+                    entry["file"]).resolve())
+    missing = [f for f in files
+               if f.suffix == ".cc" and f.resolve() not in listed]
+    if missing:
+        names = "\n  ".join(str(m) for m in missing)
+        sys.exit(f"error: source files missing from {compdb} — the build "
+                 f"does not compile what the analyzer would check "
+                 f"(stale configure?):\n  {names}")
+    return compdb.parent
+
+
+def build_model(root: pathlib.Path, files: list[pathlib.Path],
+                frontend: str, compdb_dir: pathlib.Path | None):
+    """Builds the semantic model; textual facts (includes, name literals)
+    always come from the builtin pass, the AST frontend replaces the
+    semantic core (classes/functions) when selected."""
+    model = cpp_model.build_model(root, files)
+    if frontend == "builtin":
+        return model
+    try:
+        import clang_frontend
+        if compdb_dir is None:
+            raise clang_frontend.ClangUnavailableError(
+                "libclang frontend needs a compilation database "
+                "(--compdb must not be 'none')")
+        ast_model = clang_frontend.build_model(root, files, compdb_dir)
+        model.classes = ast_model.classes
+        model.functions = ast_model.functions
+        model.frontend = "libclang"
+        return model
+    except Exception as exc:  # loud fallback, never a silent skip
+        if frontend == "libclang":
+            sys.exit(f"error: --frontend libclang requested but "
+                     f"unavailable: {exc}")
+        print(f"tmerge_analyze: libclang frontend unavailable "
+              f"({exc}); falling back to builtin frontend",
+              file=sys.stderr)
+        return model
+
+
+def main(argv: list[str]) -> int:
+    here = pathlib.Path(__file__).resolve().parent
+    default_root = here.parents[1]
+    parser = argparse.ArgumentParser(
+        description="tmerge semantic static analysis")
+    parser.add_argument("--root", type=pathlib.Path, default=default_root)
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path, or 'none' "
+                             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "builtin", "libclang"))
+    parser.add_argument("--config-dir", type=pathlib.Path, default=here,
+                        help="directory holding lock_order.json, "
+                             "registry.json, suppressions.json")
+    parser.add_argument("--design", type=pathlib.Path, default=None,
+                        help="DESIGN.md path for suppression design_refs "
+                             "(default: <root>/DESIGN.md)")
+    parser.add_argument("--emit-lock-graph", type=pathlib.Path)
+    parser.add_argument("--emit-dot", type=pathlib.Path)
+    parser.add_argument("--emit-registry", type=pathlib.Path,
+                        help="regenerate the registry from harvested names "
+                             "(keeps the existing fixtures bucket) and exit")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    files = repo_files(root)
+    if not files:
+        sys.exit(f"error: no C++ sources under {root}/src")
+
+    compdb_dir: pathlib.Path | None = None
+    if args.compdb != "none":
+        compdb = pathlib.Path(args.compdb) if args.compdb else \
+            root / "build" / "compile_commands.json"
+        compdb_dir = check_compdb(root, compdb, files)
+
+    model = build_model(root, files, args.frontend, compdb_dir)
+    for path in harvest_files(root):
+        cpp_model.harvest_names_only(root, path, model)
+
+    design = args.design if args.design else root / "DESIGN.md"
+    config = rules.Config(args.config_dir, design)
+
+    if args.emit_registry:
+        registry = rules.generate_registry(
+            model, config.registry.get("fixtures", []))
+        args.emit_registry.write_text(
+            json.dumps(registry, indent=2) + "\n")
+        print(f"wrote {args.emit_registry} "
+              f"({sum(len(v) for v in registry.values())} names)")
+        return 0
+
+    extra_texts = {}
+    for rel in EXTRA_TEXT_FILES:
+        path = root / rel
+        if path.is_file():
+            extra_texts[rel] = path.read_text(encoding="utf-8")
+
+    findings = rules.run_all(model, config, root, extra_texts)
+
+    if args.emit_lock_graph or args.emit_dot:
+        graph = rules.lock_graph_json(model, config)
+        if args.emit_lock_graph:
+            args.emit_lock_graph.write_text(
+                json.dumps(graph, indent=2) + "\n")
+        if args.emit_dot:
+            args.emit_dot.write_text(rules.lock_graph_dot(graph))
+
+    for finding in findings:
+        print(finding.render())
+    summary = (f"tmerge_analyze [{model.frontend}]: "
+               f"{len(model.functions)} functions, "
+               f"{len(model.classes)} classes, "
+               f"{len(model.name_uses)} name uses — "
+               f"{len(findings)} finding(s)")
+    print(summary, file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,6 +27,14 @@ tests can see (DESIGN.md "Static analysis & enforced invariants"):
     - no <iostream> in headers (global-constructor and compile-time tax;
       headers needing formatted output take a stream or use <cstdio> in
       the .cc).
+    - no naked `new` / `delete` expressions under src/. Ownership flows
+      through std::unique_ptr / make_unique (or containers); the only
+      sanctioned exception is the intentionally-leaked function-local
+      singleton (Meyers-singleton-with-leak, used by the obs and fault
+      registries to dodge shutdown-order fiascos), which carries an
+      explicit allow comment. `= delete`d special members and
+      `operator new/delete` declarations are not expressions and don't
+      fire.
     - metric/trace event names passed as literals to TMERGE_SPAN,
       TMERGE_TRACE_*, or registry Get* must be lowercase dotted
       identifiers (`stream.merge_job.seconds`), so exporters, dashboards
@@ -40,8 +48,8 @@ static-analysis job. Exit code 0 = clean, 1 = violations, 2 = usage error.
 A line can opt out of a named rule with a trailing comment:
     foo();  // tmerge-lint: allow(<rule>)
 where <rule> is one of: randomness, wall-clock, no-sleep, header-guard,
-using-namespace, iostream-header, event-name. Use sparingly; the
-allowlists above are preferred for whole-file exemptions.
+using-namespace, iostream-header, event-name, naked-new. Use sparingly;
+the allowlists above are preferred for whole-file exemptions.
 """
 
 from __future__ import annotations
@@ -71,6 +79,11 @@ STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
 SLEEP_RE = re.compile(
     r"\bsleep_for\b|\bsleep_until\b|(?<![\w:.])(?:sleep|usleep|nanosleep)\s*\(")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+# `new` as an expression head: `new T(...)`, `new T[...]`, placement new.
+# The lookbehind keeps identifiers like `renew`/`anew` and qualified names
+# out; `operator new` declarations and `= delete`d members are filtered at
+# the match site (they are declarations, not expressions).
+NAKED_NEW_RE = re.compile(r"(?<![\w:.])(new|delete)\b")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
 
 # A metric/trace name site whose first argument is a string literal opening
@@ -204,6 +217,27 @@ class Linter:
                                 "sleeping is banned in src/; charge "
                                 "simulated latency to the cost-model "
                                 "SimClock (reid/cost_model.h) instead")
+            if in_src:
+                for m in NAKED_NEW_RE.finditer(code):
+                    kw = m.group(1)
+                    before = code[:m.start()].rstrip()
+                    if kw == "delete" and not before:
+                        # Wrapped `... =\n    delete;` — look back.
+                        for prev in reversed(code_lines[:lineno - 1]):
+                            if prev.strip():
+                                before = prev.rstrip()
+                                break
+                    if kw == "delete" and before.endswith("="):
+                        continue  # `= delete`d member: a declaration
+                    if before.endswith("operator"):
+                        continue  # operator new/delete declaration
+                    if self.allowed(orig, "naked-new"):
+                        continue
+                    self.report(path, lineno, "naked-new",
+                                f"naked `{kw}` in src/; own memory with "
+                                "std::unique_ptr / make_unique (leaked "
+                                "function-local singletons carry an "
+                                "explicit allow comment)")
             if is_header and USING_NAMESPACE_RE.search(code):
                 if not self.allowed(orig, "using-namespace"):
                     self.report(path, lineno, "using-namespace",

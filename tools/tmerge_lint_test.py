@@ -98,6 +98,18 @@ class RuleFiringTest(unittest.TestCase):
             "#include <iostream>\n#endif\n",
             "iostream-header", rel="src/tmerge/x/f.h")
 
+    def test_naked_new_banned(self):
+        self.assert_rule("int* f() { return new int(3); }", "naked-new")
+
+    def test_naked_array_new_banned(self):
+        self.assert_rule("int* f() { return new int[8]; }", "naked-new")
+
+    def test_naked_delete_banned(self):
+        self.assert_rule("void f(int* p) { delete p; }", "naked-new")
+
+    def test_naked_array_delete_banned(self):
+        self.assert_rule("void f(int* p) { delete[] p; }", "naked-new")
+
     def test_event_name_uppercase_banned(self):
         self.assert_rule('void f() { TMERGE_SPAN("Stream.Ingest"); }',
                         "event-name")
@@ -165,6 +177,42 @@ class NoFalsePositiveTest(unittest.TestCase):
     def test_sleep_allowed_in_tests_dir(self):
         content = "void f() { std::this_thread::sleep_for(1ms); }\n"
         self.assertEqual(run_on({"tests/x/f.cc": content}), [])
+
+    def test_deleted_member_is_not_naked_delete(self):
+        content = ("struct NoCopy {\n"
+                   "  NoCopy(const NoCopy&) = delete;\n"
+                   "  NoCopy& operator=(const NoCopy&) =\n"
+                   "      delete;\n"
+                   "};\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.h": content
+                                 .replace("struct",
+                                          "#ifndef TMERGE_X_F_H_\n"
+                                          "#define TMERGE_X_F_H_\n"
+                                          "struct", 1) + "#endif\n"}), [])
+
+    def test_operator_new_declaration_is_not_naked(self):
+        content = ("struct Arena {\n"
+                   "  void* operator new(std::size_t n);\n"
+                   "  void operator delete(void* p);\n"
+                   "};\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
+
+    def test_new_identifier_substrings_do_not_fire(self):
+        content = ("int renew(int x) { return x; }\n"
+                   "int new_count = 0;  // `new` name prefix, not the "
+                   "keyword\n")
+        violations = run_on({"src/tmerge/x/f.cc": content})
+        self.assertEqual(
+            [v for v in violations if "[naked-new]" in v], [])
+
+    def test_naked_new_allowed_in_tests_dir(self):
+        content = "int* f() { return new int(3); }\n"
+        self.assertEqual(run_on({"tests/x/f.cc": content}), [])
+
+    def test_naked_new_allow_suppression(self):
+        content = ("static Registry* r = new Registry();"
+                   "  // tmerge-lint: allow(naked-new)\n")
+        self.assertEqual(run_on({"src/tmerge/x/f.cc": content}), [])
 
     def test_event_name_valid_names_pass(self):
         content = ('void f() {\n'
