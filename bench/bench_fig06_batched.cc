@@ -2,16 +2,31 @@
 // PS-B, LCB-B, TMerge-B) with batch sizes B = 10 and B = 100. Batching
 // multiplies TMerge's throughput while LCB-B barely moves — its strictly
 // sequential arm choice leaves nothing to batch.
+//
+// The second section drives the real reid::EmbedScheduler: a gated TMerge
+// with GateConfig::prefetch_ambiguous pushes the ambiguous pairs' crops
+// through the scheduler (async, on the scheduler's own pool), so the
+// selector's misses land as CostModel-optimal batches instead of single
+// inferences. Its BENCH_JSON line ("gate_batched") feeds the CI perf gate
+// (bench/BENCH_tier1.json via tools/bench_regress.py).
+//
+// `--sched-only` skips the Figure 6 sweep and runs just the scheduler
+// section (the CI perf-smoke configuration).
 
 #include <iostream>
+#include <string>
 
 #include "bench_util.h"
 #include "tmerge/core/table_printer.h"
+#include "tmerge/core/thread_pool.h"
+#include "tmerge/gate/gated_selector.h"
+#include "tmerge/merge/tmerge.h"
+#include "tmerge/reid/embed_scheduler.h"
 
 namespace tmerge::bench {
 namespace {
 
-void Run() {
+void RunFigure6() {
   struct Spec {
     sim::DatasetProfile profile;
     std::int32_t videos;
@@ -46,10 +61,93 @@ void Run() {
                "depends on the previous one.\n";
 }
 
+void RunScheduler() {
+  int threads = BenchNumThreads();
+  BenchEnv env =
+      PrepareEnv(sim::DatasetProfile::kMot17Like, /*num_videos=*/4,
+                 TrackerKind::kSort, /*window_length=*/2000,
+                 /*seed=*/424242, threads);
+
+  merge::SelectorOptions options;
+  options.k_fraction = 0.05;
+  merge::TMergeOptions tmerge_options;
+  tmerge_options.tau_max = 4000;
+  merge::TMergeSelector tmerge(tmerge_options);
+
+  // Ungated reference: single-inference cache misses.
+  merge::EvalResult base = merge::EvaluateSelectorAveraged(
+      env.prepared, tmerge, options, /*trials=*/3, threads);
+
+  // Gated + scheduled: the ambiguous pairs' crops are prefetched through
+  // the EmbedScheduler (async on its own pool), amortizing
+  // batch_fixed_seconds across every miss the inner selector would have
+  // paid single_inference_seconds for.
+  gate::GateConfig gate_config;
+  gate_config.enabled = true;
+  gate_config.prefetch_ambiguous = true;
+  gate::GatedSelector gated(tmerge, gate_config);
+  core::ThreadPool sched_pool(4);
+  reid::EmbedScheduler scheduler(reid::EmbedSchedulerConfig{}, &sched_pool);
+  merge::SelectorOptions gated_options = options;
+  gated_options.embed_scheduler = &scheduler;
+  merge::EvalResult gated_eval = merge::EvaluateSelectorAveraged(
+      env.prepared, gated, gated_options, /*trials=*/3, threads);
+  scheduler.Flush();
+  reid::EmbedSchedulerStats sched = scheduler.stats();
+
+  const double fps_ratio = base.fps > 0.0 ? gated_eval.fps / base.fps : 0.0;
+  std::cout << "=== EmbedScheduler: gated TMerge with batched prefetch "
+               "(MOT-17-like) ===\n";
+  core::TablePrinter table({"config", "REC", "FPS", "sim-seconds",
+                            "batches", "batched-crops", "single-infs"});
+  table.AddRow()
+      .AddCell("TMerge (ungated)")
+      .AddNumber(base.rec, 3)
+      .AddNumber(base.fps, 2)
+      .AddNumber(base.simulated_seconds, 2)
+      .AddCell("-")
+      .AddCell("-")
+      .AddInt(base.usage.single_inferences);
+  table.AddRow()
+      .AddCell("Gated(TMerge)+sched")
+      .AddNumber(gated_eval.rec, 3)
+      .AddNumber(gated_eval.fps, 2)
+      .AddNumber(gated_eval.simulated_seconds, 2)
+      .AddInt(sched.batches)
+      .AddInt(sched.batched_crops)
+      .AddInt(gated_eval.usage.single_inferences);
+  table.Print(std::cout);
+  std::cout << "Scheduler conservation: requested=" << sched.requested
+            << " cache_hits=" << sched.cache_hits
+            << " dedup_hits=" << sched.dedup_hits
+            << " embedded=" << sched.batched_crops + sched.single_crops
+            << " failed=" << sched.failed_crops
+            << " outstanding=" << sched.outstanding << "\n";
+
+  // Counts carry tolerance 0 in BENCH_tier1.json: the scheduler plan and
+  // the gated selection are deterministic at every thread count.
+  EmitBenchJson(
+      "gate_batched",
+      {{"rec", gated_eval.rec},
+       {"rec_base", base.rec},
+       {"fps_ratio", fps_ratio},
+       {"sched_requested", static_cast<double>(sched.requested)},
+       {"sched_batches", static_cast<double>(sched.batches)},
+       {"sched_batched_crops", static_cast<double>(sched.batched_crops)},
+       {"sched_single_crops", static_cast<double>(sched.single_crops)},
+       {"sched_failed_crops", static_cast<double>(sched.failed_crops)},
+       {"sched_outstanding", static_cast<double>(sched.outstanding)}});
+}
+
 }  // namespace
 }  // namespace tmerge::bench
 
-int main() {
-  tmerge::bench::Run();
+int main(int argc, char** argv) {
+  bool sched_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sched-only") sched_only = true;
+  }
+  if (!sched_only) tmerge::bench::RunFigure6();
+  tmerge::bench::RunScheduler();
   return 0;
 }

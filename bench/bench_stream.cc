@@ -18,6 +18,13 @@
 //   TMERGE_STREAM_CAMERAS    number of cameras (default 100)
 //   TMERGE_STREAM_FRAMES     frames per camera (default 300)
 //   TMERGE_STREAM_TIMEOUT_S  wall-clock watchdog in seconds (default 300)
+//   TMERGE_STREAM_GATE       "1" wraps the selector in an enabled
+//                            gate::GatedSelector (prefetch on) and gives
+//                            the service a reid::EmbedScheduler — the
+//                            gated soak of the CI gate-smoke lane. The
+//                            determinism check then replays the batch
+//                            side with its own scheduler, pinning gated
+//                            streamed == gated batch bit-identity.
 //   TMERGE_NUM_THREADS       merge workers (bench_util.h, BenchNumThreads)
 //   TMERGE_FAULT[_SEED]      optional failpoint schedule (InitFaultFromEnv)
 //   TMERGE_TRACE             "1" arms the flight recorder (InitTraceFromEnv)
@@ -48,11 +55,13 @@
 
 #include "bench_util.h"
 #include "tmerge/core/table_printer.h"
+#include "tmerge/gate/gated_selector.h"
 #include "tmerge/obs/trace.h"
 #include "tmerge/obs/trace_clock.h"
 #include "tmerge/detect/detection_simulator.h"
 #include "tmerge/merge/pipeline.h"
 #include "tmerge/merge/tmerge.h"
+#include "tmerge/reid/embed_scheduler.h"
 #include "tmerge/reid/synthetic_reid_model.h"
 #include "tmerge/sim/dataset.h"
 #include "tmerge/stream/stream_service.h"
@@ -180,12 +189,17 @@ merge::SelectorOptions SoakSelectorOptions() {
 stream::StreamResult RunSoak(const SoakSetup& setup,
                              merge::CandidateSelector& selector,
                              int num_threads,
-                             const std::string& stall_dump_path) {
+                             const std::string& stall_dump_path,
+                             bool gated) {
   stream::StreamServiceConfig config;
   config.window = setup.pipeline.window;
   config.selector = SoakSelectorOptions();
   config.num_threads = num_threads;
   config.stall_post_mortem_path = stall_dump_path;
+  // The gated soak exercises the service-owned EmbedScheduler end to end:
+  // merge jobs run on the pool, so the scheduler takes its inline
+  // (reentrant) path there; serial runs go through the same commit order.
+  config.enable_embed_scheduler = gated;
   // Tight on purpose, and scaled to the fleet. KITTI-like windows carry
   // ~10 pairs, so a min-batch threshold above a full 4-window job (~40
   // pairs) defers every mid-stream merge; pending pairs then accumulate
@@ -252,11 +266,19 @@ double Percentile99(std::vector<double> values) {
 /// number of divergent cameras (0 = bit-identical).
 int CheckDeterminism(const SoakSetup& setup,
                      merge::CandidateSelector& selector,
-                     const stream::StreamResult& streamed, int num_threads) {
+                     const stream::StreamResult& streamed, int num_threads,
+                     bool gated) {
   track::SortTracker tracker;
   std::vector<merge::PreparedVideo> prepared =
       merge::PrepareDataset(setup.dataset, tracker, setup.pipeline);
   merge::SelectorOptions options = SoakSelectorOptions();
+  // The gated soak's streaming side prefetched through the service's
+  // scheduler; the batch replay needs its own (same config, no pool —
+  // sync and async commits are bit-identical) or the charge sequences
+  // would legitimately differ.
+  reid::EmbedScheduler batch_scheduler{reid::EmbedSchedulerConfig{},
+                                       nullptr};
+  if (gated) options.embed_scheduler = &batch_scheduler;
   int divergent = 0;
   for (std::size_t i = 0; i < prepared.size(); ++i) {
     merge::EvalResult batch =
@@ -301,22 +323,32 @@ int Run(bool check_determinism) {
   double timeout_s =
       static_cast<double>(EnvInt("TMERGE_STREAM_TIMEOUT_S", 300));
   int num_threads = BenchNumThreads();
+  const char* gate_env = std::getenv("TMERGE_STREAM_GATE");
+  bool gated = gate_env != nullptr && std::string(gate_env) == "1";
 
   std::cout << "bench_stream: " << cameras << " cameras x " << frames
             << " frames, merge workers=" << num_threads
             << " (0 = hardware), watchdog=" << timeout_s << "s"
             << (check_determinism ? ", determinism check on" : "")
-            << (tracing ? ", tracing on" : "") << "\n";
+            << (gated ? ", gate on" : "") << (tracing ? ", tracing on" : "")
+            << "\n";
 
   Watchdog watchdog(timeout_s, trace_path);
   SoakSetup setup = BuildSetup(cameras, frames);
 
   merge::TMergeOptions tmerge_options;
-  merge::TMergeSelector selector(tmerge_options);
+  merge::TMergeSelector tmerge_selector(tmerge_options);
+  gate::GateConfig gate_config;
+  gate_config.enabled = true;
+  gate_config.prefetch_ambiguous = true;
+  gate::GatedSelector gated_selector(tmerge_selector, gate_config);
+  merge::CandidateSelector& selector =
+      gated ? static_cast<merge::CandidateSelector&>(gated_selector)
+            : tmerge_selector;
 
   std::int64_t start_ns = obs::TraceClockNanos();
   stream::StreamResult result =
-      RunSoak(setup, selector, num_threads, StallDumpPath(trace_path));
+      RunSoak(setup, selector, num_threads, StallDumpPath(trace_path), gated);
   double elapsed_s =
       obs::TraceClockSecondsBetween(start_ns, obs::TraceClockNanos());
 
@@ -407,7 +439,8 @@ int Run(bool check_determinism) {
   obs::TraceRecorder::Default().Stop();
 
   if (check_determinism) {
-    int divergent = CheckDeterminism(setup, selector, result, num_threads);
+    int divergent =
+        CheckDeterminism(setup, selector, result, num_threads, gated);
     if (divergent > 0) {
       std::cerr << "bench_stream: FAIL — " << divergent
                 << " camera(s) diverged from the batch pipeline\n";

@@ -16,6 +16,16 @@
 //                       reuse optimization loses an entry)
 //   reid.cache.miss     a lookup is forced to miss without eviction (a
 //                       re-embed is charged; the entry is refreshed)
+//   reid.embed.batch_fail
+//                       one EmbedScheduler batched dispatch fails whole:
+//                       the launch cost is charged as a penalty and the
+//                       batch's crops retry on the single path under a
+//                       fresh salt (keyed first detection id ^ batch index
+//                       ^ salt, so the schedule is group-content-
+//                       deterministic across camera interleaves)
+//   reid.sched.defer    one EmbedScheduler batch's dispatch is pushed
+//                       behind the rest of its group (commit order, and
+//                       therefore results and charges, are unaffected)
 //   io.mot.short_read   a MOT reader's input ends mid-stream
 //   io.mot.corrupt_row  a MOT reader row arrives corrupted
 //   core.pool.submit    ThreadPool::Submit rejects the task

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "tmerge/core/mutex.h"
 #include "tmerge/core/sim_clock.h"
 #include "tmerge/reid/distance_kernels.h"
 
@@ -18,7 +20,9 @@ SelectionResult BaselineSelector::Select(const PairContext& context,
   const bool batched = options.batch_size > 1;
 
   SelectionResult result;
-  last_scores_.assign(context.num_pairs(), 0.0);
+  // Computed on this call's stack — EvaluateDataset shares one selector
+  // across worker threads, so members must stay read-only during Select.
+  std::vector<double> scores(context.num_pairs(), 0.0);
 
   // Embed every involved crop, gathering raw arena pointers for the
   // one-vs-many kernel. Batched mode groups `batch_size` track pairs per
@@ -85,13 +89,16 @@ SelectionResult BaselineSelector::Select(const PairContext& context,
         meter.ChargeDistance(count);
       }
       result.box_pairs_evaluated += count;
-      last_scores_[p] = count > 0 ? sum / static_cast<double>(count) : 1.0;
+      scores[p] = count > 0 ? sum / static_cast<double>(count) : 1.0;
     }
   }
 
   result.candidates = internal::TopKByScore(
-      context, last_scores_,
-      TopKCount(options.k_fraction, context.num_pairs()));
+      context, scores, TopKCount(options.k_fraction, context.num_pairs()));
+  {
+    core::MutexLock lock(mutex_);
+    last_scores_ = std::move(scores);
+  }
   result.simulated_seconds = meter.elapsed_seconds();
   result.usage = meter.stats();
   result.wall_seconds = timer.Seconds();

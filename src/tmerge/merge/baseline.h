@@ -2,7 +2,10 @@
 #define TMERGE_MERGE_BASELINE_H_
 
 #include <string>
+#include <vector>
 
+#include "tmerge/core/mutex.h"
+#include "tmerge/core/thread_annotations.h"
 #include "tmerge/merge/selector.h"
 
 namespace tmerge::merge {
@@ -22,12 +25,20 @@ class BaselineSelector : public CandidateSelector {
 
   std::string name() const override { return "BL"; }
 
-  /// Exact track-pair scores from the last Select call (test hook; indexed
-  /// like context.pairs()).
-  const std::vector<double>& last_scores() const { return last_scores_; }
+  /// Exact track-pair scores from the last completed Select call (test
+  /// hook; indexed like context.pairs()). Select computes scores on its own
+  /// stack and publishes them here under a mutex at the end, so sharing one
+  /// BaselineSelector across EvaluateDataset workers stays within the
+  /// CandidateSelector concurrency contract; with concurrent Select calls
+  /// "last" means whichever published last.
+  std::vector<double> last_scores() const TMERGE_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    return last_scores_;
+  }
 
  private:
-  std::vector<double> last_scores_;
+  mutable core::Mutex mutex_;
+  std::vector<double> last_scores_ TMERGE_GUARDED_BY(mutex_);
 };
 
 }  // namespace tmerge::merge

@@ -25,6 +25,8 @@ SelectionResult LcbSelector::Select(const PairContext& context,
   core::Rng rng(options.seed ^ 0x1CBULL);
   const bool batched = options.batch_size > 1;
   const std::size_t num_pairs = context.num_pairs();
+  const std::int64_t tau_max =
+      internal::ScaledBudget(tau_max_, options.budget_scale);
 
   SelectionResult result;
   if (num_pairs == 0) {
@@ -70,13 +72,13 @@ SelectionResult LcbSelector::Select(const PairContext& context,
 
   // One initial pull per pair so every bound is defined.
   std::int64_t tau = 0;
-  for (std::size_t p = 0; p < num_pairs && tau < tau_max_; ++p) {
+  for (std::size_t p = 0; p < num_pairs && tau < tau_max; ++p) {
     if (samplers[p].Exhausted()) continue;
     evaluate_pair(p);
     ++tau;
   }
 
-  for (; tau < tau_max_; ++tau) {
+  for (; tau < tau_max; ++tau) {
     double best_bound = std::numeric_limits<double>::infinity();
     std::size_t best_pair = num_pairs;
     for (std::size_t p = 0; p < num_pairs; ++p) {

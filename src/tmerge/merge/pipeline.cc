@@ -38,6 +38,12 @@ void RecordWindowObs(const SelectionResult& result,
   static obs::Counter& batch_calls = registry.GetCounter("reid.batch_calls");
   static obs::Counter& distances =
       registry.GetCounter("reid.distance_evals");
+  static obs::Counter& gate_accepted =
+      registry.GetCounter("gate.accepted");
+  static obs::Counter& gate_rejected =
+      registry.GetCounter("gate.rejected");
+  static obs::Counter& gate_ambiguous =
+      registry.GetCounter("gate.ambiguous");
   static obs::Counter& failed_pulls =
       registry.GetCounter("pipeline.failed_pulls");
   static obs::Counter& degraded =
@@ -53,6 +59,9 @@ void RecordWindowObs(const SelectionResult& result,
   batched_crops.Add(result.usage.batched_crops);
   batch_calls.Add(result.usage.batch_calls);
   distances.Add(result.usage.distance_evals);
+  gate_accepted.Add(result.usage.gate_accepted);
+  gate_rejected.Add(result.usage.gate_rejected);
+  gate_ambiguous.Add(result.usage.gate_ambiguous);
   failed_pulls.Add(result.failed_pulls);
   if (result.degraded) degraded.Add();
 }
@@ -292,6 +301,9 @@ EvalResult EvaluateSelectorAveraged(const std::vector<PreparedVideo>& videos,
   mean.usage.distance_evals /= trials;
   mean.usage.cache_hits /= trials;
   mean.usage.failed_embeds /= trials;
+  mean.usage.gate_accepted /= trials;
+  mean.usage.gate_rejected /= trials;
+  mean.usage.gate_ambiguous /= trials;
   return mean;
 }
 

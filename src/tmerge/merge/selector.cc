@@ -46,5 +46,13 @@ std::vector<metrics::TrackPairKey> TopKByScore(
   return out;
 }
 
+std::int64_t ScaledBudget(std::int64_t tau_max, double scale) {
+  TMERGE_CHECK(scale > 0.0);
+  if (scale == 1.0) return tau_max;  // Exact pass-through, no rounding.
+  auto scaled = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(tau_max) * scale));
+  return std::max<std::int64_t>(scaled, 1);
+}
+
 }  // namespace internal
 }  // namespace tmerge::merge

@@ -11,6 +11,10 @@
 #include "tmerge/reid/reid_guard.h"
 #include "tmerge/reid/reid_model.h"
 
+namespace tmerge::reid {
+class EmbedScheduler;
+}  // namespace tmerge::reid
+
 namespace tmerge::merge {
 
 /// Options shared by every candidate selector.
@@ -33,6 +37,18 @@ struct SelectorOptions {
   /// an embed failure there is a hard error, not a pull to skip. Inert
   /// unless fault/failpoint.h failpoints are armed.
   reid::ReidFaultPolicy fault_policy;
+  /// Multiplier on the budget-bound selectors' sampling budget (TMerge and
+  /// LCB scale tau_max by this, rounded, floored at one pull). Exactly 1.0
+  /// — the default — leaves the construction-time budget untouched, bit
+  /// for bit; tmerge::gate::GatedSelector sets it to the ambiguous
+  /// fraction of a gated window so the bandit budget tracks the work the
+  /// gate left behind.
+  double budget_scale = 1.0;
+  /// Optional shared embed scheduler (reid/embed_scheduler.h). Non-owning;
+  /// must outlive every Select call. Null — the default — means no
+  /// prefetching; today only tmerge::gate::GatedSelector reads it (for
+  /// GateConfig::prefetch_ambiguous).
+  reid::EmbedScheduler* embed_scheduler = nullptr;
 };
 
 /// Output of one selector run on one window.
@@ -106,6 +122,12 @@ namespace internal {
 std::vector<metrics::TrackPairKey> TopKByScore(
     const PairContext& context, const std::vector<double>& scores,
     std::size_t k);
+
+/// Applies SelectorOptions::budget_scale to a construction-time sampling
+/// budget: llround(tau_max * scale), floored at one pull. A scale of
+/// exactly 1.0 is guaranteed to return tau_max unchanged (the pass-through
+/// bit-identity contract of the gated pipeline).
+std::int64_t ScaledBudget(std::int64_t tau_max, double scale);
 
 }  // namespace internal
 

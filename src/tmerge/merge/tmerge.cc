@@ -143,6 +143,8 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
   const bool batched = options.batch_size > 1;
   const std::size_t num_pairs = context.num_pairs();
   const std::size_t k_count = TopKCount(options.k_fraction, num_pairs);
+  const std::int64_t tau_max =
+      internal::ScaledBudget(options_.tau_max, options.budget_scale);
 
   SelectionResult result;
   if (num_pairs == 0) {
@@ -222,7 +224,7 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
       batched ? static_cast<std::size_t>(options.batch_size) : 1;
 
   std::vector<std::pair<double, std::size_t>> draws;
-  while (tau < options_.tau_max) {
+  while (tau < tau_max) {
     draws.clear();
     for (std::size_t p = 0; p < num_pairs; ++p) {
       if (bandits[p].state != PairState::kLive) continue;
@@ -233,7 +235,7 @@ SelectionResult TMergeSelector::Select(const PairContext& context,
 
     std::size_t take = std::min<std::size_t>(
         {round_size, draws.size(),
-         static_cast<std::size_t>(options_.tau_max - tau)});
+         static_cast<std::size_t>(tau_max - tau)});
     std::partial_sort(draws.begin(), draws.begin() + take, draws.end());
 
     if (batched) {

@@ -11,6 +11,9 @@ UsageStats& UsageStats::operator+=(const UsageStats& other) {
   distance_evals += other.distance_evals;
   cache_hits += other.cache_hits;
   failed_embeds += other.failed_embeds;
+  gate_accepted += other.gate_accepted;
+  gate_rejected += other.gate_rejected;
+  gate_ambiguous += other.gate_ambiguous;
   return *this;
 }
 
@@ -64,6 +67,20 @@ void InferenceMeter::ChargeFailedBatchItem(std::int64_t count) {
 
 void InferenceMeter::ChargePenalty(double seconds) {
   clock_.Advance(seconds);
+}
+
+void InferenceMeter::ChargeGateChecks(std::int64_t count) {
+  TMERGE_CHECK(count >= 0);
+  clock_.Advance(model_.gate_check_seconds * count);
+}
+
+void InferenceMeter::RecordGateVerdicts(std::int64_t accepted,
+                                        std::int64_t rejected,
+                                        std::int64_t ambiguous) {
+  TMERGE_CHECK(accepted >= 0 && rejected >= 0 && ambiguous >= 0);
+  stats_.gate_accepted += accepted;
+  stats_.gate_rejected += rejected;
+  stats_.gate_ambiguous += ambiguous;
 }
 
 }  // namespace tmerge::reid

@@ -31,6 +31,11 @@ struct CostModel {
   /// (Thompson draws, bound updates). Tiny but nonzero so iteration-heavy
   /// methods do not come out free.
   double per_sample_overhead_seconds = 4e-8;
+  /// One pair-gate evidence evaluation (IoU extrapolation + velocity
+  /// bounds, tmerge::gate) — host arithmetic over a handful of boxes, so
+  /// orders of magnitude below an inference but nonzero so gating is never
+  /// modeled as free.
+  double gate_check_seconds = 1e-7;
 };
 
 /// Operation counters accumulated by a selector run.
@@ -44,6 +49,12 @@ struct UsageStats {
   /// inference time but produced no feature — the "failed pulls charged to
   /// the cost model" of the degraded mode (DESIGN.md "Fault model").
   std::int64_t failed_embeds = 0;
+  /// Pair-gate verdicts (tmerge::gate). Zero on every ungated run; when a
+  /// GatedSelector classified the window, the three always sum to the
+  /// window's pair count (pinned by tests/gate/gate_property_test.cc).
+  std::int64_t gate_accepted = 0;
+  std::int64_t gate_rejected = 0;
+  std::int64_t gate_ambiguous = 0;
 
   /// Total crops embedded (single + batched), excluding cache hits and
   /// failed attempts.
@@ -92,6 +103,14 @@ class InferenceMeter {
   /// Charges raw simulated seconds with no counter: retry backoff and
   /// injected latency spikes. Deterministic sim-clock time, never a sleep.
   void ChargePenalty(double seconds);
+
+  /// Charges `count` pair-gate evidence evaluations (tmerge::gate).
+  void ChargeGateChecks(std::int64_t count);
+
+  /// Records gate verdict counts (free; the evidence cost is charged by
+  /// ChargeGateChecks).
+  void RecordGateVerdicts(std::int64_t accepted, std::int64_t rejected,
+                          std::int64_t ambiguous);
 
   double elapsed_seconds() const { return clock_.elapsed_seconds(); }
   const UsageStats& stats() const { return stats_; }

@@ -68,6 +68,13 @@ FeatureRef FeatureCache::Insert(std::uint64_t detection_id,
   return ref;
 }
 
+FeatureView FeatureCache::Put(std::uint64_t detection_id,
+                              const FeatureVector& feature) {
+  FeatureRef ref = index_.Find(detection_id);
+  if (ref.valid()) return store_.View(ref);
+  return store_.View(Insert(detection_id, feature));
+}
+
 FeatureView FeatureCache::GetOrEmbed(const CropRef& crop,
                                      const ReidModel& model,
                                      InferenceMeter& meter) {

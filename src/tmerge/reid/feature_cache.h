@@ -159,6 +159,16 @@ class FeatureCache {
       const std::vector<CropRef>& crops, const ReidModel& model,
       InferenceMeter& meter, std::uint64_t salt = 0);
 
+  /// Inserts a feature computed OUTSIDE the cache (the EmbedScheduler's
+  /// compute/commit split: workers embed into private slots, the owning
+  /// thread commits here). Charges nothing — the scheduler meters the
+  /// inference itself. When the detection is already cached the existing
+  /// entry wins (handle stability: a committed handle must never be
+  /// re-pointed) and the duplicate is dropped; schedulers dedup against
+  /// the cache before computing, so a hit here means the crop raced an
+  /// earlier commit of the same group, which the scheduler forbids.
+  FeatureView Put(std::uint64_t detection_id, const FeatureVector& feature);
+
   /// True if the crop is already cached (no cost either way).
   bool Contains(std::uint64_t detection_id) const {
     return index_.Find(detection_id).valid();

@@ -59,6 +59,10 @@ StreamService::StreamService(const StreamServiceConfig& config,
   if (config_.num_threads != 1 && workers > 1) {
     pool_ = std::make_unique<core::ThreadPool>(workers);
   }
+  if (config_.enable_embed_scheduler) {
+    embed_scheduler_ = std::make_unique<reid::EmbedScheduler>(
+        config_.embed_scheduler, pool_.get());
+  }
 }
 
 StreamService::~StreamService() {
@@ -494,6 +498,7 @@ std::vector<StreamService::WindowOutcome> StreamService::RunMergeJob(
     // counterpart (EvaluateSelector in merge/pipeline.cc).
     options.seed =
         config_.selector.seed + 1009 * (pending.window.window_index + 1);
+    if (embed_scheduler_) options.embed_scheduler = embed_scheduler_.get();
     merge::PairContext context(job.tracks, pending.window.pairs);
     WindowOutcome outcome;
     outcome.window_pairs =
@@ -553,6 +558,11 @@ StreamResult StreamService::Finish(double now_seconds) {
     Dispatch(std::move(jobs));
     MaybeWriteStallPostMortem();
   }
+
+  // Clean end-of-stream drain: no scheduler batch may be left in flight
+  // once every merge job has completed (scheduler_fault_test pins the
+  // zero-outstanding invariant this asserts).
+  if (embed_scheduler_) embed_scheduler_->Flush();
 
   core::MutexLock lock(mutex_);
   finished_ = true;

@@ -14,6 +14,7 @@
 #include "tmerge/detect/detection_simulator.h"
 #include "tmerge/merge/selector.h"
 #include "tmerge/merge/window.h"
+#include "tmerge/reid/embed_scheduler.h"
 #include "tmerge/reid/feature_cache.h"
 #include "tmerge/reid/reid_model.h"
 #include "tmerge/stream/incremental_windower.h"
@@ -55,6 +56,15 @@ struct StreamServiceConfig {
   /// happens outside the service mutex; an I/O failure warns on stderr and
   /// is otherwise ignored (post-mortems must never take the service down).
   std::string stall_post_mortem_path;
+  /// When true the service owns a reid::EmbedScheduler bound to its own
+  /// pool and injects it into every merge job's SelectorOptions
+  /// (embed_scheduler), so a gated selector with prefetch_ambiguous
+  /// coalesces embed requests across windows and cameras. Finish drains
+  /// the scheduler (Flush) before building the result. Off by default:
+  /// without it selector options pass through untouched, preserving the
+  /// ungated bit-identity contract.
+  bool enable_embed_scheduler = false;
+  reid::EmbedSchedulerConfig embed_scheduler;
 };
 
 /// One camera's stream registration.
@@ -331,6 +341,11 @@ class StreamService {
   /// Null in serial mode (num_threads == 1), matching the pipeline's
   /// convention that 1 means "no threads at all".
   std::unique_ptr<core::ThreadPool> pool_;
+  /// Present iff config.enable_embed_scheduler; bound to pool_ (so merge
+  /// jobs running ON pool workers compute inline — the scheduler's
+  /// reentrancy rule — while main-thread callers go async). Declared after
+  /// pool_ so it is destroyed first.
+  std::unique_ptr<reid::EmbedScheduler> embed_scheduler_;
 
   mutable core::Mutex mutex_;
   core::CondVar idle_cv_;
