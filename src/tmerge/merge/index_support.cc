@@ -1,0 +1,268 @@
+#include "tmerge/merge/index_support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "tmerge/core/status.h"
+#include "tmerge/obs/metrics.h"
+#include "tmerge/obs/span.h"
+#include "tmerge/reid/distance_kernels.h"
+
+namespace tmerge::merge::internal {
+namespace {
+
+/// Absolute slack covering every fp32 rounding effect inside the
+/// quantized kernels (accumulation, scale products, the final
+/// sqrt/divide) for normalized scores in [0, 1]. Orders of magnitude
+/// above the worst case at any realistic dim (relative fp32 accumulation
+/// error is ~dim * 2^-24), orders of magnitude below typical int8
+/// quantization bounds — pinned by the over-fetch property test.
+constexpr double kScreenArithSlack = 1e-4;
+
+double NormalizeApprox(float squared, double norm_scale) {
+  const double d =
+      std::sqrt(static_cast<double>(squared)) / norm_scale;
+  return std::clamp(d, 0.0, 1.0);
+}
+
+#ifndef TMERGE_OBS_DISABLED
+void RecordRouterObs(std::int64_t admitted, std::int64_t routed_out) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& admitted_counter =
+      registry.GetCounter("reid.index.router_admitted");
+  static obs::Counter& routed_counter =
+      registry.GetCounter("reid.index.router_routed_out");
+  admitted_counter.Add(admitted);
+  routed_counter.Add(routed_out);
+}
+#endif  // TMERGE_OBS_DISABLED
+
+}  // namespace
+
+double ScreenTrack::MeanError() const {
+  if (errors.empty()) return 0.0;
+  double sum = 0.0;
+  for (float e : errors) sum += static_cast<double>(e);
+  return sum / static_cast<double>(errors.size());
+}
+
+void EnsureMirror(reid::FeatureStore& store, ScreenPrecision precision) {
+  if (precision == ScreenPrecision::kInt8) {
+    store.EnsureInt8Mirror();
+  } else {
+    store.EnsureFp16Mirror();
+  }
+}
+
+void GatherScreenTrack(const reid::FeatureStore& store,
+                       const std::vector<reid::FeatureRef>& refs,
+                       ScreenPrecision precision, ScreenTrack* out) {
+  out->int8_rows.clear();
+  out->int8_scales.clear();
+  out->fp16_rows.clear();
+  out->errors.clear();
+  out->errors.reserve(refs.size());
+  if (precision == ScreenPrecision::kInt8) {
+    out->int8_rows.reserve(refs.size());
+    out->int8_scales.reserve(refs.size());
+    for (reid::FeatureRef ref : refs) {
+      out->int8_rows.push_back(store.Int8Row(ref));
+      out->int8_scales.push_back(store.Int8Scale(ref));
+      out->errors.push_back(store.Int8Error(ref));
+    }
+  } else {
+    out->fp16_rows.reserve(refs.size());
+    for (reid::FeatureRef ref : refs) {
+      out->fp16_rows.push_back(store.Fp16Row(ref));
+      out->errors.push_back(store.Fp16Error(ref));
+    }
+  }
+}
+
+double ScreenMeanAllPairs(const ScreenTrack& a, const ScreenTrack& b,
+                          std::size_t dim, double norm_scale,
+                          ScreenPrecision precision,
+                          std::vector<float>* scratch) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  if (na == 0 || nb == 0) return 1.0;
+  scratch->resize(nb);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < na; ++i) {
+    if (precision == ScreenPrecision::kInt8) {
+      reid::kernels::Int8OneVsManySquared(
+          a.int8_rows[i], a.int8_scales[i], b.int8_rows.data(),
+          b.int8_scales.data(), nb, dim, scratch->data());
+    } else {
+      reid::kernels::Fp16OneVsManySquared(a.fp16_rows[i], b.fp16_rows.data(),
+                                          nb, dim, scratch->data());
+    }
+    for (std::size_t j = 0; j < nb; ++j) {
+      sum += NormalizeApprox((*scratch)[j], norm_scale);
+    }
+  }
+  return sum / static_cast<double>(na * nb);
+}
+
+double ScreenOnePair(const ScreenTrack& a, std::size_t ia,
+                     const ScreenTrack& b, std::size_t ib, std::size_t dim,
+                     double norm_scale, ScreenPrecision precision) {
+  float squared = 0.0f;
+  if (precision == ScreenPrecision::kInt8) {
+    const std::int8_t* row_b = b.int8_rows[ib];
+    const float scale_b = b.int8_scales[ib];
+    reid::kernels::Int8OneVsManySquared(a.int8_rows[ia], a.int8_scales[ia],
+                                        &row_b, &scale_b, 1, dim, &squared);
+  } else {
+    const std::uint16_t* row_b = b.fp16_rows[ib];
+    reid::kernels::Fp16OneVsManySquared(a.fp16_rows[ia], &row_b, 1, dim,
+                                        &squared);
+  }
+  return NormalizeApprox(squared, norm_scale);
+}
+
+double ScreenBound(double mean_error_a, double mean_error_b,
+                   std::size_t dim, double norm_scale, double margin) {
+  TMERGE_DCHECK(norm_scale > 0.0);
+  const double quant = (mean_error_a + mean_error_b) *
+                       std::sqrt(static_cast<double>(dim)) / norm_scale;
+  return (quant + kScreenArithSlack) * std::max(1.0, margin);
+}
+
+std::vector<char> ShortlistMask(const std::vector<double>& approx,
+                                const std::vector<double>& bound,
+                                std::size_t k) {
+  const std::size_t n = approx.size();
+  TMERGE_CHECK(bound.size() == n);
+  if (k == 0) return std::vector<char>(n, 0);
+  if (k >= n) return std::vector<char>(n, 1);
+  // u = the k-th smallest approx+bound, via a k-element max-heap: one
+  // pass, O(k) scratch. k is tiny next to n (top-k fractions of pair
+  // counts, or a fixed k over a million-row sweep), where an O(n)
+  // nth_element copy would cost as much as the quantized sweep itself.
+  std::vector<double> heap;
+  heap.reserve(k);
+  for (std::size_t p = 0; p < n; ++p) {
+    const double upper = approx[p] + bound[p];
+    if (heap.size() < k) {
+      heap.push_back(upper);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (upper < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = upper;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  const double u = heap.front();
+  std::vector<char> mask(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (approx[p] - bound[p] <= u) mask[p] = 1;
+  }
+  return mask;
+}
+
+void RecordScreenObs(std::int64_t screened_pairs, std::int64_t reranked_pairs,
+                     std::int64_t int8_rows, std::int64_t fp16_rows) {
+#ifndef TMERGE_OBS_DISABLED
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& screened =
+      registry.GetCounter("reid.index.screen_pairs");
+  static obs::Counter& reranked =
+      registry.GetCounter("reid.index.rerank_pairs");
+  static obs::Counter& rows8 = registry.GetCounter("reid.kernel.int8_rows");
+  static obs::Counter& rows16 = registry.GetCounter("reid.kernel.fp16_rows");
+  screened.Add(screened_pairs);
+  reranked.Add(reranked_pairs);
+  rows8.Add(int8_rows);
+  rows16.Add(fp16_rows);
+#else
+  (void)screened_pairs;
+  (void)reranked_pairs;
+  (void)int8_rows;
+  (void)fp16_rows;
+#endif
+}
+
+RouterOutcome RoutePairs(
+    const PairContext& context, reid::FeatureCache& cache,
+    const IndexOptions& index,
+    const std::function<bool(const reid::CropRef&)>& embed_rep) {
+  RouterOutcome out;
+  const std::size_t num_pairs = context.num_pairs();
+  if (!index.router || num_pairs == 0) return out;
+  TMERGE_SPAN("reid.index.route.seconds");
+
+  struct TrackInfo {
+    std::uint64_t rep_id = 0;
+    bool embedded = false;
+    std::int32_t cluster = -1;
+    std::vector<std::int32_t> probed;
+  };
+  std::vector<TrackInfo> infos;
+  std::unordered_map<std::uint64_t, std::size_t> by_rep;
+  auto info_of = [&](const std::vector<reid::CropRef>& crops)
+      -> std::ptrdiff_t {
+    if (crops.empty()) return -1;
+    const std::uint64_t rep = crops.front().detection_id;
+    auto [it, inserted] = by_rep.try_emplace(rep, infos.size());
+    if (inserted) {
+      infos.emplace_back();
+      infos.back().rep_id = rep;
+      infos.back().embedded = embed_rep(crops.front());
+    }
+    return static_cast<std::ptrdiff_t>(it->second);
+  };
+
+  std::vector<std::ptrdiff_t> track_a(num_pairs), track_b(num_pairs);
+  for (std::size_t p = 0; p < num_pairs; ++p) {
+    track_a[p] = info_of(context.CropsA(p));
+    track_b[p] = info_of(context.CropsB(p));
+  }
+
+  reid::CoarseClusterIndex& router = cache.EnsureClusterIndex(index.cluster);
+  if (!router.built()) return out;  // Nothing stored: stay inactive.
+
+  const std::int32_t probes =
+      index.router_exhaustive
+          ? router.num_clusters()
+          : std::min(index.router_probes, router.num_clusters());
+  for (TrackInfo& info : infos) {
+    if (!info.embedded) continue;
+    const reid::FeatureRef ref = cache.Find(info.rep_id);
+    if (!ref.valid() || ref.index >= router.assigned_rows()) {
+      info.embedded = false;  // Evicted under fault injection: admit.
+      continue;
+    }
+    info.cluster = router.AssignmentOf(ref);
+    router.NearestClusters(cache.View(ref), probes, &info.probed);
+  }
+
+  out.active = true;
+  out.admitted.assign(num_pairs, 1);
+  auto probed_contains = [](const std::vector<std::int32_t>& probed,
+                            std::int32_t cluster) {
+    return std::find(probed.begin(), probed.end(), cluster) != probed.end();
+  };
+  for (std::size_t p = 0; p < num_pairs; ++p) {
+    if (track_a[p] < 0 || track_b[p] < 0) continue;
+    const TrackInfo& a = infos[static_cast<std::size_t>(track_a[p])];
+    const TrackInfo& b = infos[static_cast<std::size_t>(track_b[p])];
+    if (!a.embedded || !b.embedded) continue;
+    if (probed_contains(a.probed, b.cluster) ||
+        probed_contains(b.probed, a.cluster)) {
+      continue;
+    }
+    out.admitted[p] = 0;
+    ++out.routed_out;
+  }
+  TMERGE_OBS(RecordRouterObs(
+      static_cast<std::int64_t>(num_pairs) - out.routed_out,
+      out.routed_out));
+  return out;
+}
+
+}  // namespace tmerge::merge::internal

@@ -1,0 +1,105 @@
+#ifndef TMERGE_MERGE_INDEX_SUPPORT_H_
+#define TMERGE_MERGE_INDEX_SUPPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tmerge/merge/pair_store.h"
+#include "tmerge/merge/selector.h"
+#include "tmerge/reid/feature_cache.h"
+#include "tmerge/reid/feature_store.h"
+
+namespace tmerge::merge::internal {
+
+/// Quantized mirror rows of one track's crops, gathered once per pair
+/// sweep after the mirrors were built (DESIGN.md §15.2). Only the vectors
+/// for the requested precision are populated; `errors` always carries the
+/// per-row reconstruction bound h the over-fetch rule consumes.
+struct ScreenTrack {
+  std::vector<const std::int8_t*> int8_rows;
+  std::vector<float> int8_scales;
+  std::vector<const std::uint16_t*> fp16_rows;
+  std::vector<float> errors;
+
+  std::size_t size() const { return errors.size(); }
+  double MeanError() const;
+};
+
+/// Extends the mirror for `precision` over every stored row.
+void EnsureMirror(reid::FeatureStore& store, ScreenPrecision precision);
+
+/// Gathers mirror rows for `refs` (all must be mirrored already).
+void GatherScreenTrack(const reid::FeatureStore& store,
+                       const std::vector<reid::FeatureRef>& refs,
+                       ScreenPrecision precision, ScreenTrack* out);
+
+/// Approximate mean normalized distance over the full A x B crop product
+/// using the fp32 quantized kernels; the fa-outer / fb-inner order
+/// mirrors the exact sweep. Bit-identical across dispatch levels.
+/// `scratch` is resized as needed. Returns 1.0 when either side is empty
+/// (the exact sweep's empty-pair convention).
+double ScreenMeanAllPairs(const ScreenTrack& a, const ScreenTrack& b,
+                          std::size_t dim, double norm_scale,
+                          ScreenPrecision precision,
+                          std::vector<float>* scratch);
+
+/// Approximate normalized distance of one (crop_a, crop_b) cell — the PS
+/// sampled-cell path.
+double ScreenOnePair(const ScreenTrack& a, std::size_t ia,
+                     const ScreenTrack& b, std::size_t ib, std::size_t dim,
+                     double norm_scale, ScreenPrecision precision);
+
+/// Proven bound on |approximate - exact| for a mean of normalized
+/// distances whose cells draw rows with mean reconstruction error
+/// `mean_error_a` / `mean_error_b` (§15.2):
+///   (mean_a h + mean_b h) * sqrt(dim) / norm_scale
+/// plus a conservative fp32 arithmetic slack, all times `margin`.
+double ScreenBound(double mean_error_a, double mean_error_b,
+                   std::size_t dim, double norm_scale, double margin);
+
+/// Over-fetch shortlist: true for every pair whose exact score could
+/// still be inside the ascending top-k. With u = the k-th smallest value
+/// of approx+bound, pair p survives iff approx[p] - bound[p] <= u; §15.2
+/// proves the true top-k always survives and that every dropped pair's
+/// approximate score ranks strictly after the exact top-k under the
+/// (score, index) total order TopKByScore uses. k == 0 drops everything;
+/// k >= n keeps everything.
+std::vector<char> ShortlistMask(const std::vector<double>& approx,
+                                const std::vector<double>& bound,
+                                std::size_t k);
+
+/// Publishes one window's screen counters (no-op when obs is disabled).
+void RecordScreenObs(std::int64_t screened_pairs, std::int64_t reranked_pairs,
+                     std::int64_t int8_rows, std::int64_t fp16_rows);
+
+/// Cluster-router verdict over a window's pairs (§15.3).
+struct RouterOutcome {
+  /// False when the router is off or could not engage (no stored rows);
+  /// `admitted` is empty and every pair must be treated as admitted.
+  bool active = false;
+  std::vector<char> admitted;
+  std::int64_t routed_out = 0;
+
+  bool Admitted(std::size_t pair) const {
+    return !active || admitted[pair] != 0;
+  }
+};
+
+/// Routes a window's pairs through the cache's coarse cluster index. Each
+/// distinct track is represented by its first crop; `embed_rep` must make
+/// that crop's feature resident in the cache (charging whatever the
+/// caller's embed path charges) and return whether it succeeded — failed
+/// representatives admit their pairs (missing evidence must never drop a
+/// pair). A pair is admitted when either representative's cluster is
+/// among the other's probed nearest clusters; router_exhaustive probes
+/// every cluster, admitting everything.
+RouterOutcome RoutePairs(
+    const PairContext& context, reid::FeatureCache& cache,
+    const IndexOptions& index,
+    const std::function<bool(const reid::CropRef&)>& embed_rep);
+
+}  // namespace tmerge::merge::internal
+
+#endif  // TMERGE_MERGE_INDEX_SUPPORT_H_

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "tmerge/core/sim_clock.h"
 #include "tmerge/core/status.h"
+#include "tmerge/merge/index_support.h"
 
 namespace tmerge::merge {
 
@@ -20,16 +22,19 @@ SelectionResult ProportionalSelector::Select(
   reid::InferenceMeter meter(options.cost_model);
   core::Rng rng(options.seed ^ 0x9051ULL);
   const bool batched = options.batch_size > 1;
+  const std::size_t num_pairs = context.num_pairs();
 
   SelectionResult result;
-  std::vector<double> scores(context.num_pairs(), 1.0);
+  std::vector<double> scores(num_pairs, 1.0);
 
-  // Pre-draw the sample of BBox pairs for each track pair.
+  // Pre-draw the sample of BBox pairs for each track pair. Drawn for every
+  // pair — routed-out ones included — so the rng stream, and with it every
+  // admitted pair's sample, is independent of the router verdicts.
   struct PairSample {
     std::vector<std::pair<std::int32_t, std::int32_t>> cells;
   };
-  std::vector<PairSample> samples(context.num_pairs());
-  for (std::size_t p = 0; p < context.num_pairs(); ++p) {
+  std::vector<PairSample> samples(num_pairs);
+  for (std::size_t p = 0; p < num_pairs; ++p) {
     std::int64_t total = context.BoxPairCount(p);
     if (total == 0) continue;
     auto want = static_cast<std::int64_t>(
@@ -42,46 +47,146 @@ SelectionResult ProportionalSelector::Select(
     }
   }
 
-  // Evaluate, chunking `batch_size` track pairs per GPU batch in -B mode.
-  std::size_t chunk = batched ? static_cast<std::size_t>(options.batch_size)
-                              : context.num_pairs();
-  if (chunk == 0) chunk = 1;
-  for (std::size_t begin = 0; begin < context.num_pairs(); begin += chunk) {
-    std::size_t end = std::min(begin + chunk, context.num_pairs());
+  // Cluster router (§15.3): routed-out pairs keep score 1.0, charge
+  // nothing, and never embed their sampled cells. PS stays on the
+  // infallible embed path, so a representative embed always succeeds.
+  const internal::RouterOutcome routing = internal::RoutePairs(
+      context, cache, options.index, [&](const reid::CropRef& crop) {
+        cache.GetOrEmbed(crop, model, meter);
+        return true;
+      });
+  result.routed_out_pairs = routing.routed_out;
+
+  auto charge_pair = [&](std::int64_t count) {
     if (batched) {
-      std::vector<reid::CropRef> crops;
-      for (std::size_t p = begin; p < end; ++p) {
-        const auto& crops_a = context.CropsA(p);
-        const auto& crops_b = context.CropsB(p);
-        for (const auto& [row, col] : samples[p].cells) {
-          crops.push_back(crops_a[row]);
-          crops.push_back(crops_b[col]);
-        }
-      }
-      cache.GetOrEmbedBatch(crops, model, meter);
+      meter.ChargeDistanceBatched(count);
+    } else {
+      meter.ChargeDistance(count);
     }
-    for (std::size_t p = begin; p < end; ++p) {
+    result.box_pairs_evaluated += count;
+  };
+  auto batch_prefetch = [&](std::size_t first_pair, std::size_t last_pair) {
+    std::vector<reid::CropRef> crops;
+    for (std::size_t p = first_pair; p < last_pair; ++p) {
+      if (!routing.Admitted(p)) continue;
       const auto& crops_a = context.CropsA(p);
       const auto& crops_b = context.CropsB(p);
-      double sum = 0.0;
       for (const auto& [row, col] : samples[p].cells) {
-        reid::FeatureView fa = cache.GetOrEmbed(crops_a[row], model, meter);
-        reid::FeatureView fb = cache.GetOrEmbed(crops_b[col], model, meter);
-        sum += model.NormalizedDistance(fa, fb);
+        crops.push_back(crops_a[row]);
+        crops.push_back(crops_b[col]);
       }
-      auto count = static_cast<std::int64_t>(samples[p].cells.size());
-      if (batched) {
-        meter.ChargeDistanceBatched(count);
-      } else {
-        meter.ChargeDistance(count);
+    }
+    cache.GetOrEmbedBatch(crops, model, meter);
+  };
+
+  // Evaluate, chunking `batch_size` track pairs per GPU batch in -B mode.
+  std::size_t chunk = batched ? static_cast<std::size_t>(options.batch_size)
+                              : num_pairs;
+  if (chunk == 0) chunk = 1;
+
+  if (options.index.screen) {
+    // Two-phase sampled sweep (§15.2). Phase 1: embed the sampled cells in
+    // the unscreened order, keeping one arena handle per cell side. Each
+    // pair's distance charge is assessed right here, where the unscreened
+    // loop would have charged it: the meter's clock is a running double
+    // sum, so only the identical charge *order* keeps simulated_seconds
+    // bit-identical (the screened-vs-exact differential suite pins this).
+    std::vector<std::vector<reid::FeatureRef>> refs_a(num_pairs);
+    std::vector<std::vector<reid::FeatureRef>> refs_b(num_pairs);
+    for (std::size_t begin = 0; begin < num_pairs; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, num_pairs);
+      if (batched) batch_prefetch(begin, end);
+      for (std::size_t p = begin; p < end; ++p) {
+        if (!routing.Admitted(p)) continue;
+        const auto& crops_a = context.CropsA(p);
+        const auto& crops_b = context.CropsB(p);
+        refs_a[p].reserve(samples[p].cells.size());
+        refs_b[p].reserve(samples[p].cells.size());
+        for (const auto& [row, col] : samples[p].cells) {
+          cache.GetOrEmbed(crops_a[row], model, meter);
+          refs_a[p].push_back(cache.Find(crops_a[row].detection_id));
+          cache.GetOrEmbed(crops_b[col], model, meter);
+          refs_b[p].push_back(cache.Find(crops_b[col].detection_id));
+        }
+        charge_pair(static_cast<std::int64_t>(samples[p].cells.size()));
       }
-      result.box_pairs_evaluated += count;
-      if (count > 0) scores[p] = sum / static_cast<double>(count);
+    }
+
+    // Phase 2: quantized screen, one cell at a time (cells are the sampled
+    // diagonal, not a full product; all charges were assessed in phase 1).
+    const ScreenPrecision precision = options.index.screen_precision;
+    internal::EnsureMirror(cache.mutable_store(), precision);
+    std::vector<double> approx(num_pairs, 1.0);
+    std::vector<double> bound(num_pairs, 0.0);
+    internal::ScreenTrack track_a, track_b;
+    std::int64_t mirror_rows = 0;
+    for (std::size_t p = 0; p < num_pairs; ++p) {
+      if (!routing.Admitted(p)) continue;
+      const auto count = static_cast<std::int64_t>(samples[p].cells.size());
+      ++result.screened_pairs;
+      if (count == 0) continue;
+      internal::GatherScreenTrack(cache.store(), refs_a[p], precision,
+                                  &track_a);
+      internal::GatherScreenTrack(cache.store(), refs_b[p], precision,
+                                  &track_b);
+      mirror_rows += 2 * count;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < samples[p].cells.size(); ++i) {
+        sum += internal::ScreenOnePair(track_a, i, track_b, i,
+                                       model.feature_dim(),
+                                       model.normalization_scale(), precision);
+      }
+      approx[p] = sum / static_cast<double>(count);
+      bound[p] = internal::ScreenBound(track_a.MeanError(),
+                                       track_b.MeanError(),
+                                       model.feature_dim(),
+                                       model.normalization_scale(),
+                                       options.index.overfetch_margin);
+      scores[p] = approx[p];
+    }
+
+    // Phase 3: exact fp64 re-rank of the provably sufficient shortlist,
+    // reproducing the unscreened per-cell NormalizedDistance sum verbatim.
+    const std::vector<char> mask = internal::ShortlistMask(
+        approx, bound, TopKCount(options.k_fraction, num_pairs));
+    for (std::size_t p = 0; p < num_pairs; ++p) {
+      if (mask[p] == 0 || !routing.Admitted(p)) continue;
+      if (samples[p].cells.empty()) continue;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < samples[p].cells.size(); ++i) {
+        sum += model.NormalizedDistance(cache.View(refs_a[p][i]),
+                                        cache.View(refs_b[p][i]));
+      }
+      scores[p] = sum / static_cast<double>(samples[p].cells.size());
+      ++result.reranked_pairs;
+    }
+    internal::RecordScreenObs(
+        result.screened_pairs, result.reranked_pairs,
+        precision == ScreenPrecision::kInt8 ? mirror_rows : 0,
+        precision == ScreenPrecision::kFp16 ? mirror_rows : 0);
+  } else {
+    for (std::size_t begin = 0; begin < num_pairs; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, num_pairs);
+      if (batched) batch_prefetch(begin, end);
+      for (std::size_t p = begin; p < end; ++p) {
+        if (!routing.Admitted(p)) continue;
+        const auto& crops_a = context.CropsA(p);
+        const auto& crops_b = context.CropsB(p);
+        double sum = 0.0;
+        for (const auto& [row, col] : samples[p].cells) {
+          reid::FeatureView fa = cache.GetOrEmbed(crops_a[row], model, meter);
+          reid::FeatureView fb = cache.GetOrEmbed(crops_b[col], model, meter);
+          sum += model.NormalizedDistance(fa, fb);
+        }
+        auto count = static_cast<std::int64_t>(samples[p].cells.size());
+        charge_pair(count);
+        if (count > 0) scores[p] = sum / static_cast<double>(count);
+      }
     }
   }
 
   result.candidates = internal::TopKByScore(
-      context, scores, TopKCount(options.k_fraction, context.num_pairs()));
+      context, scores, TopKCount(options.k_fraction, num_pairs));
   result.simulated_seconds = meter.elapsed_seconds();
   result.usage = meter.stats();
   result.wall_seconds = timer.Seconds();

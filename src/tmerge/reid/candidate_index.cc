@@ -1,0 +1,177 @@
+#include "tmerge/reid/candidate_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "tmerge/core/status.h"
+#include "tmerge/obs/metrics.h"
+#include "tmerge/obs/span.h"
+#include "tmerge/reid/distance_kernels.h"
+
+namespace tmerge::reid {
+namespace {
+
+#ifndef TMERGE_OBS_DISABLED
+void RecordRebuildObs(std::size_t rows) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  static obs::Counter& rebuilds =
+      registry.GetCounter("reid.index.rebuilds");
+  static obs::Counter& assigned =
+      registry.GetCounter("reid.index.assigned_rows");
+  rebuilds.Add(1);
+  assigned.Add(static_cast<std::int64_t>(rows));
+}
+#endif  // TMERGE_OBS_DISABLED
+
+}  // namespace
+
+CoarseClusterIndex::CoarseClusterIndex(const ClusterIndexOptions& options)
+    : options_(options) {
+  TMERGE_CHECK(options_.clusters > 0);
+  TMERGE_CHECK(options_.lloyd_iterations > 0);
+  TMERGE_CHECK(options_.sample_cap > 0);
+  TMERGE_CHECK(options_.rebuild_interval > 0);
+}
+
+void CoarseClusterIndex::Ensure(const FeatureStore& store) {
+  if (store.empty()) return;
+  const std::size_t rows = store.size();
+  const bool stale =
+      !built() ||
+      rows - rows_at_build_ >=
+          static_cast<std::size_t>(options_.rebuild_interval);
+  if (stale) {
+    Rebuild(store);
+    return;
+  }
+  // Incremental path: new rows join their nearest existing centroid;
+  // centroids themselves stay fixed until the next rebuild (§15.3 — a
+  // router only needs coarse assignments, and frozen centroids keep every
+  // earlier routing decision reproducible).
+  for (std::size_t row = assigned_.size(); row < rows; ++row) {
+    assigned_.push_back(NearestCentroid(
+        store.Data(FeatureRef{static_cast<std::uint32_t>(row)})));
+  }
+}
+
+void CoarseClusterIndex::Rebuild(const FeatureStore& store) {
+  TMERGE_SPAN("reid.index.rebuild.seconds");
+  const std::size_t rows = store.size();
+  dim_ = store.dim();
+  num_clusters_ = static_cast<std::int32_t>(
+      std::min<std::size_t>(options_.clusters, rows));
+
+  // Deterministic stride sample: row j*stride for j in [0, sample_count).
+  const std::size_t cap = static_cast<std::size_t>(options_.sample_cap);
+  const std::size_t stride = std::max<std::size_t>(1, rows / cap);
+  std::vector<std::uint32_t> sample;
+  for (std::size_t row = 0; row < rows && sample.size() < cap;
+       row += stride) {
+    sample.push_back(static_cast<std::uint32_t>(row));
+  }
+
+  // Seed centroids on an even stride over the sample, then refine with a
+  // fixed number of Lloyd passes (fixed iteration count + fixed row order
+  // + fp64 accumulation = deterministic, and kernel-level independent
+  // because the distances compared are bit-identical at every level).
+  const std::size_t k = static_cast<std::size_t>(num_clusters_);
+  centroids_.assign(k * dim_, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint32_t row = sample[c * sample.size() / k];
+    const double* src = store.Data(FeatureRef{row});
+    std::copy(src, src + dim_, centroids_.data() + c * dim_);
+  }
+
+  std::vector<std::int32_t> sample_assign(sample.size(), 0);
+  std::vector<double> sums(k * dim_);
+  std::vector<std::int64_t> counts(k);
+  for (std::int32_t iter = 0; iter < options_.lloyd_iterations; ++iter) {
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      sample_assign[j] = NearestCentroid(store.Data(FeatureRef{sample[j]}));
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      const double* src = store.Data(FeatureRef{sample[j]});
+      double* dst = sums.data() + static_cast<std::size_t>(sample_assign[j]) * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) dst[i] += src[i];
+      ++counts[static_cast<std::size_t>(sample_assign[j])];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      // An empty cluster keeps its previous centroid (still deterministic;
+      // it can re-acquire rows in a later pass).
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      double* dst = centroids_.data() + c * dim_;
+      const double* src = sums.data() + c * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) dst[i] = src[i] * inv;
+    }
+  }
+
+  assigned_.clear();
+  assigned_.reserve(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    assigned_.push_back(NearestCentroid(
+        store.Data(FeatureRef{static_cast<std::uint32_t>(row)})));
+  }
+  rows_at_build_ = rows;
+  ++rebuilds_;
+  TMERGE_OBS(RecordRebuildObs(rows));
+}
+
+std::int32_t CoarseClusterIndex::NearestCentroid(const double* row) const {
+  std::int32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::int32_t c = 0; c < num_clusters_; ++c) {
+    const double dist = kernels::SquaredDistance(
+        row, centroids_.data() + static_cast<std::size_t>(c) * dim_, dim_);
+    if (dist < best_dist) {  // Strict: ties keep the lower id.
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::int32_t CoarseClusterIndex::AssignmentOf(FeatureRef ref) const {
+  TMERGE_DCHECK(ref.index < assigned_.size());
+  return assigned_[ref.index];
+}
+
+void CoarseClusterIndex::NearestClusters(
+    FeatureView query, std::int32_t probes,
+    std::vector<std::int32_t>* out) const {
+  out->clear();
+  if (num_clusters_ == 0) return;
+  TMERGE_DCHECK(query.dim == dim_);
+  std::vector<std::pair<double, std::int32_t>> ranked;
+  ranked.reserve(static_cast<std::size_t>(num_clusters_));
+  for (std::int32_t c = 0; c < num_clusters_; ++c) {
+    ranked.emplace_back(
+        kernels::SquaredDistance(
+            query.data, centroids_.data() + static_cast<std::size_t>(c) * dim_,
+            dim_),
+        c);
+  }
+  const std::size_t take = std::min<std::size_t>(
+      ranked.size(), probes > 0 ? static_cast<std::size_t>(probes) : 0);
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end());
+  for (std::size_t i = 0; i < take; ++i) out->push_back(ranked[i].second);
+}
+
+const double* CoarseClusterIndex::Centroid(std::int32_t cluster) const {
+  TMERGE_DCHECK(cluster >= 0 && cluster < num_clusters_);
+  return centroids_.data() + static_cast<std::size_t>(cluster) * dim_;
+}
+
+void CoarseClusterIndex::Clear() {
+  dim_ = 0;
+  num_clusters_ = 0;
+  centroids_.clear();
+  assigned_.clear();
+  rows_at_build_ = 0;
+  rebuilds_ = 0;
+}
+
+}  // namespace tmerge::reid

@@ -1,0 +1,91 @@
+#ifndef TMERGE_REID_CANDIDATE_INDEX_H_
+#define TMERGE_REID_CANDIDATE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tmerge/reid/feature.h"
+#include "tmerge/reid/feature_store.h"
+
+namespace tmerge::reid {
+
+/// Knobs for the coarse cluster router (DESIGN.md §15.3). Defaults are
+/// sized for per-video stores of thousands to millions of rows: small k
+/// keeps routing O(clusters · dim) per query, the sample cap bounds the
+/// Lloyd rebuild, and the rebuild interval amortizes rebuild cost to O(1)
+/// per append.
+struct ClusterIndexOptions {
+  /// Target centroid count; capped by the number of stored rows.
+  std::int32_t clusters = 64;
+  /// Lloyd refinement passes per rebuild (fixed count: deterministic).
+  std::int32_t lloyd_iterations = 6;
+  /// Max rows fed to Lloyd per rebuild (deterministic stride sample).
+  std::int32_t sample_cap = 32768;
+  /// Appends since the last build that trigger a full rebuild on the next
+  /// Ensure; new rows in between are assigned incrementally.
+  std::int32_t rebuild_interval = 4096;
+};
+
+/// K-means-style centroid router over a FeatureStore: maps every stored
+/// row to its nearest centroid so selector sweeps can probe the few
+/// nearest clusters instead of O(pairs) (DESIGN.md §15.3).
+///
+/// Everything here is deterministic given the store contents — centroid
+/// seeding is an even stride over a stride-sampled row set, Lloyd runs a
+/// fixed number of passes in fixed row order with fp64 accumulation, and
+/// ties in nearest-centroid scans break toward the lower id. Distances go
+/// through the dispatching kernels, which are bit-identical at every
+/// level, so routing decisions cannot depend on the host's SIMD tier.
+///
+/// Concurrency: thread-confined, like the FeatureCache that owns one
+/// (one index per video store; no mutex on purpose).
+class CoarseClusterIndex {
+ public:
+  explicit CoarseClusterIndex(const ClusterIndexOptions& options = {});
+
+  /// Brings the index up to date with `store`: first call (or any call
+  /// after rebuild_interval appends accumulated) rebuilds centroids from
+  /// scratch, otherwise rows appended since the last call are assigned to
+  /// their nearest existing centroid. Amortized O(clusters · dim) per new
+  /// row. No-op on an empty store.
+  void Ensure(const FeatureStore& store);
+
+  bool built() const { return num_clusters_ > 0; }
+  std::int32_t num_clusters() const { return num_clusters_; }
+  std::size_t assigned_rows() const { return assigned_.size(); }
+  std::int64_t rebuilds() const { return rebuilds_; }
+
+  /// Cluster id of a stored row; the row must be covered by the last
+  /// Ensure (debug-checked).
+  std::int32_t AssignmentOf(FeatureRef ref) const;
+
+  /// Writes the `probes` nearest cluster ids to `query` into `out`,
+  /// ascending by (centroid distance, id). probes >= num_clusters()
+  /// returns every cluster — the exhaustive-fallback mode, which admits
+  /// every pair and is the recall==1.0 differential mode tests pin.
+  void NearestClusters(FeatureView query, std::int32_t probes,
+                       std::vector<std::int32_t>* out) const;
+
+  /// Centroid storage (dim() doubles), for diagnostics and tests.
+  const double* Centroid(std::int32_t cluster) const;
+  std::size_t dim() const { return dim_; }
+
+  void Clear();
+
+ private:
+  void Rebuild(const FeatureStore& store);
+  std::int32_t NearestCentroid(const double* row) const;
+
+  ClusterIndexOptions options_;
+  std::size_t dim_ = 0;
+  std::int32_t num_clusters_ = 0;
+  std::vector<double> centroids_;       ///< num_clusters_ * dim_.
+  std::vector<std::int32_t> assigned_;  ///< Per store row, append order.
+  std::size_t rows_at_build_ = 0;       ///< Store size at the last rebuild.
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace tmerge::reid
+
+#endif  // TMERGE_REID_CANDIDATE_INDEX_H_

@@ -1,0 +1,279 @@
+// Quantized screen (DESIGN.md §15.2): the over-fetch bound really bounds
+// the screen's error, the shortlist provably contains the exact top-k, and
+// the screened two-phase BL/PS sweeps return SelectionResults bit-identical
+// to the unscreened exact paths — single-threaded per selector and across
+// worker threads at the dataset level.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testing/merge_fixture.h"
+#include "tmerge/core/rng.h"
+#include "tmerge/merge/baseline.h"
+#include "tmerge/merge/index_support.h"
+#include "tmerge/merge/pipeline.h"
+#include "tmerge/merge/proportional.h"
+#include "tmerge/merge/selector.h"
+#include "tmerge/reid/distance_kernels.h"
+#include "tmerge/reid/feature_store.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/track/sort_tracker.h"
+
+namespace tmerge::merge {
+namespace {
+
+std::vector<double> RandomFeature(core::Rng& rng, std::size_t dim) {
+  std::vector<double> v(dim);
+  for (double& x : v) x = rng.Normal(0.0, 1.0);
+  return v;
+}
+
+/// Appends `rows` random features and returns their refs — one synthetic
+/// "track" of crops.
+std::vector<reid::FeatureRef> AppendTrack(reid::FeatureStore& store,
+                                          core::Rng& rng, std::size_t rows,
+                                          std::size_t dim) {
+  std::vector<reid::FeatureRef> refs;
+  for (std::size_t i = 0; i < rows; ++i) {
+    refs.push_back(store.Append(RandomFeature(rng, dim)));
+  }
+  return refs;
+}
+
+/// Exact fp64 mean normalized distance over the full A x B product — the
+/// quantity the screen approximates.
+double ExactMean(const reid::FeatureStore& store,
+                 const std::vector<reid::FeatureRef>& a,
+                 const std::vector<reid::FeatureRef>& b, double scale) {
+  double sum = 0.0;
+  for (reid::FeatureRef ra : a) {
+    for (reid::FeatureRef rb : b) {
+      const double d = std::sqrt(reid::kernels::SquaredDistance(
+          store.Data(ra), store.Data(rb), store.dim()));
+      sum += std::clamp(d / scale, 0.0, 1.0);
+    }
+  }
+  return sum / static_cast<double>(a.size() * b.size());
+}
+
+// The over-fetch property at margin 1.0: |screen mean - exact mean| is
+// within ScreenBound for every random track pair, both precisions, dims
+// crossing the kernels' vector widths. This is the inequality the §15.2
+// shortlist proof (and so candidate bit-identity) stands on — margin 1.0
+// shows the bound itself suffices, before the shipped 1.5x daylight.
+TEST(QuantizedScreenTest, ScreenBoundCoversTrueError) {
+  constexpr double kScale = 4.0;
+  core::Rng rng(601);
+  for (std::size_t dim : {8u, 16u, 33u}) {
+    for (ScreenPrecision precision :
+         {ScreenPrecision::kInt8, ScreenPrecision::kFp16}) {
+      reid::FeatureStore store;
+      std::vector<std::vector<reid::FeatureRef>> tracks;
+      for (int t = 0; t < 8; ++t) {
+        tracks.push_back(
+            AppendTrack(store, rng, 3 + static_cast<std::size_t>(t) % 4, dim));
+      }
+      internal::EnsureMirror(store, precision);
+      internal::ScreenTrack track_a, track_b;
+      std::vector<float> scratch;
+      for (std::size_t i = 0; i < tracks.size(); ++i) {
+        for (std::size_t j = i + 1; j < tracks.size(); ++j) {
+          internal::GatherScreenTrack(store, tracks[i], precision, &track_a);
+          internal::GatherScreenTrack(store, tracks[j], precision, &track_b);
+          const double approx = internal::ScreenMeanAllPairs(
+              track_a, track_b, dim, kScale, precision, &scratch);
+          const double exact =
+              ExactMean(store, tracks[i], tracks[j], kScale);
+          const double bound = internal::ScreenBound(
+              track_a.MeanError(), track_b.MeanError(), dim, kScale,
+              /*margin=*/1.0);
+          EXPECT_LE(std::abs(approx - exact), bound)
+              << "dim=" << dim << " precision="
+              << (precision == ScreenPrecision::kInt8 ? "int8" : "fp16")
+              << " pair=(" << i << "," << j << ")";
+          // The bound must also be useful: far tighter than the trivial
+          // [0, 1] score range.
+          EXPECT_LT(bound, 0.5);
+        }
+      }
+    }
+  }
+}
+
+// ShortlistMask keeps every index whose exact score could be in the
+// ascending top-k: randomized property with approx = exact + noise inside
+// the per-element bound.
+TEST(QuantizedScreenTest, ShortlistContainsExactTopK) {
+  core::Rng rng(602);
+  constexpr std::size_t kN = 200;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> exact(kN), approx(kN), bound(kN);
+    for (std::size_t p = 0; p < kN; ++p) {
+      exact[p] = rng.Uniform01();
+      bound[p] = rng.Uniform(0.0, 0.05);
+      approx[p] = exact[p] + rng.Uniform(-bound[p], bound[p]);
+    }
+    // Exact ascending top-k under the (score, index) total order.
+    std::vector<std::size_t> order(kN);
+    for (std::size_t p = 0; p < kN; ++p) order[p] = p;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return exact[a] != exact[b] ? exact[a] < exact[b] : a < b;
+    });
+    for (std::size_t k : {1u, 5u, 17u}) {
+      const std::vector<char> mask = internal::ShortlistMask(approx, bound, k);
+      ASSERT_EQ(mask.size(), kN);
+      std::size_t survivors = 0;
+      for (char m : mask) survivors += m != 0 ? 1u : 0u;
+      EXPECT_GE(survivors, k);
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(mask[order[i]], 1)
+            << "round=" << round << " k=" << k << " lost rank-" << i
+            << " index " << order[i];
+      }
+    }
+  }
+}
+
+TEST(QuantizedScreenTest, ShortlistEdgeCases) {
+  const std::vector<double> approx{0.3, 0.1, 0.2};
+  const std::vector<double> bound{0.0, 0.0, 0.0};
+  EXPECT_EQ(internal::ShortlistMask(approx, bound, 0),
+            (std::vector<char>{0, 0, 0}));
+  EXPECT_EQ(internal::ShortlistMask(approx, bound, 3),
+            (std::vector<char>{1, 1, 1}));
+  EXPECT_EQ(internal::ShortlistMask(approx, bound, 7),
+            (std::vector<char>{1, 1, 1}));
+  // Zero bounds make the shortlist exactly the top-k.
+  EXPECT_EQ(internal::ShortlistMask(approx, bound, 1),
+            (std::vector<char>{0, 1, 0}));
+  EXPECT_EQ(internal::ShortlistMask(approx, bound, 2),
+            (std::vector<char>{0, 1, 1}));
+}
+
+/// Everything except wall-clock bookkeeping and the screen's own counters
+/// must match the unscreened run to the last bit.
+void ExpectBitIdentical(const SelectionResult& screened,
+                        const SelectionResult& exact,
+                        const std::string& label) {
+  EXPECT_EQ(screened.candidates, exact.candidates) << label;
+  EXPECT_EQ(screened.box_pairs_evaluated, exact.box_pairs_evaluated) << label;
+  EXPECT_EQ(screened.sum_sampled_distance, exact.sum_sampled_distance)
+      << label;
+  EXPECT_EQ(screened.simulated_seconds, exact.simulated_seconds) << label;
+  EXPECT_EQ(screened.failed_pulls, exact.failed_pulls) << label;
+  EXPECT_EQ(screened.routed_out_pairs, exact.routed_out_pairs) << label;
+  EXPECT_EQ(screened.usage.single_inferences, exact.usage.single_inferences)
+      << label;
+  EXPECT_EQ(screened.usage.batched_crops, exact.usage.batched_crops) << label;
+  EXPECT_EQ(screened.usage.batch_calls, exact.usage.batch_calls) << label;
+  EXPECT_EQ(screened.usage.distance_evals, exact.usage.distance_evals)
+      << label;
+  EXPECT_EQ(screened.usage.cache_hits, exact.usage.cache_hits) << label;
+  EXPECT_EQ(screened.usage.failed_embeds, exact.usage.failed_embeds) << label;
+}
+
+SelectionResult RunOnce(CandidateSelector& selector,
+                        const testing::MergeScenario& scenario,
+                        std::int32_t batch_size, bool screen,
+                        ScreenPrecision precision) {
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  options.batch_size = batch_size;
+  options.seed = 11;
+  options.index.screen = screen;
+  options.index.screen_precision = precision;
+  return selector.Select(scenario.context(), scenario.model(), cache,
+                         options);
+}
+
+// The tentpole bit-identity contract for the full-sweep selectors: the
+// screened two-phase sweep returns the unscreened result bit for bit —
+// candidates, charges and counters alike — at both precisions and in
+// batched mode.
+TEST(QuantizedScreenTest, ScreenedSelectorsBitIdenticalToExact) {
+  testing::MergeScenario scenario;
+  std::vector<std::pair<std::string, std::unique_ptr<CandidateSelector>>>
+      selectors;
+  selectors.emplace_back("BL", std::make_unique<BaselineSelector>());
+  selectors.emplace_back("PS", std::make_unique<ProportionalSelector>(0.5));
+  for (auto& [name, selector] : selectors) {
+    for (std::int32_t batch_size : {1, 4}) {
+      SelectionResult exact =
+          RunOnce(*selector, scenario, batch_size, /*screen=*/false,
+                  ScreenPrecision::kInt8);
+      EXPECT_EQ(exact.screened_pairs, 0) << name;
+      EXPECT_EQ(exact.reranked_pairs, 0) << name;
+      for (ScreenPrecision precision :
+           {ScreenPrecision::kInt8, ScreenPrecision::kFp16}) {
+        const std::string label =
+            name + " B=" + std::to_string(batch_size) +
+            (precision == ScreenPrecision::kInt8 ? " int8" : " fp16");
+        SelectionResult screened =
+            RunOnce(*selector, scenario, batch_size, /*screen=*/true,
+                    precision);
+        ExpectBitIdentical(screened, exact, label);
+        // The screen actually engaged and actually skipped exact work:
+        // every pair screened, only a shortlist re-ranked.
+        EXPECT_EQ(screened.screened_pairs,
+                  static_cast<std::int64_t>(scenario.context().num_pairs()))
+            << label;
+        EXPECT_GT(screened.reranked_pairs, 0) << label;
+        EXPECT_LE(screened.reranked_pairs, screened.screened_pairs) << label;
+      }
+      // Sanity: the comparison is not vacuous.
+      EXPECT_GT(exact.box_pairs_evaluated, 0) << name;
+      EXPECT_FALSE(exact.candidates.empty()) << name;
+    }
+  }
+}
+
+// Dataset-level: screened vs unscreened across worker-thread counts. Every
+// deterministic EvalResult field matches the single-threaded unscreened
+// reference.
+TEST(QuantizedScreenTest, DatasetEvalBitIdenticalAcrossThreads) {
+  sim::Dataset dataset =
+      sim::MakeDataset(sim::DatasetProfile::kKittiLike, 2, /*seed=*/13);
+  track::SortTracker tracker;
+  PipelineConfig config;
+  config.window.single_window = true;
+  std::vector<PreparedVideo> prepared =
+      PrepareDataset(dataset, tracker, config);
+
+  BaselineSelector selector;
+  SelectorOptions options;
+  options.seed = 3;
+  EvalResult reference = EvaluateDataset(prepared, selector, options, 1);
+
+  options.index.screen = true;
+  for (int threads : {1, 8}) {
+    EvalResult eval = EvaluateDataset(prepared, selector, options, threads);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(eval.rec, reference.rec) << label;
+    EXPECT_EQ(eval.fps, reference.fps) << label;
+    EXPECT_EQ(eval.simulated_seconds, reference.simulated_seconds) << label;
+    EXPECT_EQ(eval.pairs, reference.pairs) << label;
+    EXPECT_EQ(eval.truth_pairs, reference.truth_pairs) << label;
+    EXPECT_EQ(eval.hits, reference.hits) << label;
+    EXPECT_EQ(eval.box_pairs_evaluated, reference.box_pairs_evaluated)
+        << label;
+    EXPECT_EQ(eval.candidates, reference.candidates) << label;
+    EXPECT_EQ(eval.usage.single_inferences, reference.usage.single_inferences)
+        << label;
+    EXPECT_EQ(eval.usage.batched_crops, reference.usage.batched_crops)
+        << label;
+    EXPECT_EQ(eval.usage.distance_evals, reference.usage.distance_evals)
+        << label;
+    EXPECT_EQ(eval.usage.cache_hits, reference.usage.cache_hits) << label;
+  }
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,156 @@
+// Cluster-router differential suite (DESIGN.md §15.3): in exhaustive mode
+// the router admits every pair, so all four selectors return the same
+// candidates as with the router off — the recall==1.0 fallback contract —
+// while non-exhaustive probing really drops cross-cluster pairs with score
+// 1.0 and keeps same-object pairs together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testing/merge_fixture.h"
+#include "tmerge/merge/baseline.h"
+#include "tmerge/merge/lcb.h"
+#include "tmerge/merge/pipeline.h"
+#include "tmerge/merge/proportional.h"
+#include "tmerge/merge/selector.h"
+#include "tmerge/merge/tmerge.h"
+#include "tmerge/sim/dataset.h"
+#include "tmerge/track/sort_tracker.h"
+
+namespace tmerge::merge {
+namespace {
+
+std::vector<std::pair<std::string, std::unique_ptr<CandidateSelector>>>
+AllSelectors() {
+  std::vector<std::pair<std::string, std::unique_ptr<CandidateSelector>>> out;
+  out.emplace_back("BL", std::make_unique<BaselineSelector>());
+  out.emplace_back("PS", std::make_unique<ProportionalSelector>(0.5));
+  out.emplace_back("LCB", std::make_unique<LcbSelector>(800));
+  out.emplace_back("TMerge", std::make_unique<TMergeSelector>());
+  return out;
+}
+
+SelectionResult RunOnce(CandidateSelector& selector,
+                        const testing::MergeScenario& scenario,
+                        const IndexOptions& index) {
+  reid::FeatureCache cache;
+  SelectorOptions options;
+  options.seed = 11;
+  options.index = index;
+  return selector.Select(scenario.context(), scenario.model(), cache,
+                         options);
+}
+
+// Exhaustive probing admits every pair, so candidates match the router-off
+// run for all four selectors. (Meters can differ: routing embeds each
+// track representative, which a bandit selector might never have pulled.)
+TEST(RouterDifferentialTest, ExhaustiveRouterMatchesRouterOff) {
+  testing::MergeScenario scenario;
+  for (auto& [name, selector] : AllSelectors()) {
+    IndexOptions off;
+    const SelectionResult baseline = RunOnce(*selector, scenario, off);
+    EXPECT_EQ(baseline.routed_out_pairs, 0) << name;
+
+    IndexOptions exhaustive;
+    exhaustive.router = true;
+    exhaustive.router_exhaustive = true;
+    const SelectionResult routed = RunOnce(*selector, scenario, exhaustive);
+    EXPECT_EQ(routed.routed_out_pairs, 0) << name;
+    EXPECT_EQ(routed.candidates, baseline.candidates) << name;
+    EXPECT_FALSE(routed.candidates.empty()) << name;
+  }
+}
+
+// For the infallible full-sweep selector the equivalence is stronger:
+// every admitted pair runs the identical sweep, and the representative
+// embeds the router front-loads are the same embeds the sweep would have
+// charged — so work counters and simulated time match too.
+TEST(RouterDifferentialTest, ExhaustiveRouterPreservesBaselineCharges) {
+  testing::MergeScenario scenario;
+  BaselineSelector selector;
+  IndexOptions off;
+  const SelectionResult baseline = RunOnce(selector, scenario, off);
+  IndexOptions exhaustive;
+  exhaustive.router = true;
+  exhaustive.router_exhaustive = true;
+  const SelectionResult routed = RunOnce(selector, scenario, exhaustive);
+  EXPECT_EQ(routed.candidates, baseline.candidates);
+  EXPECT_EQ(routed.box_pairs_evaluated, baseline.box_pairs_evaluated);
+  EXPECT_EQ(routed.simulated_seconds, baseline.simulated_seconds);
+  EXPECT_EQ(routed.usage.single_inferences, baseline.usage.single_inferences);
+  EXPECT_EQ(routed.usage.distance_evals, baseline.usage.distance_evals);
+}
+
+// Degenerate determinism check: with one cluster per stored representative
+// (the default 64-cluster ask capped by 7 rows) and a single probe, every
+// representative probes only its own singleton cluster, so every pair is
+// routed out and no distances are ever evaluated.
+TEST(RouterDifferentialTest, SingletonClustersRouteOutEveryPair) {
+  testing::MergeScenario scenario;
+  BaselineSelector selector;
+  IndexOptions index;
+  index.router = true;
+  index.router_probes = 1;
+  const SelectionResult result = RunOnce(selector, scenario, index);
+  EXPECT_EQ(result.routed_out_pairs,
+            static_cast<std::int64_t>(scenario.context().num_pairs()));
+  EXPECT_EQ(result.box_pairs_evaluated, 0);
+}
+
+// With coarse clusters the router keeps what matters: the two fragments of
+// the same object land in the same appearance cluster, so the true
+// polyonymous pair survives routing (and stays the top candidate) while
+// cross-cluster pairs are dropped.
+TEST(RouterDifferentialTest, CoarseClustersKeepSameObjectPair) {
+  testing::MergeScenario scenario;
+  BaselineSelector selector;
+  IndexOptions index;
+  index.router = true;
+  index.router_probes = 1;
+  index.cluster.clusters = 2;
+  const SelectionResult result = RunOnce(selector, scenario, index);
+  EXPECT_GT(result.routed_out_pairs, 0);
+  EXPECT_LT(result.routed_out_pairs,
+            static_cast<std::int64_t>(scenario.context().num_pairs()));
+  EXPECT_NE(std::find(result.candidates.begin(), result.candidates.end(),
+                      scenario.truth_pair()),
+            result.candidates.end())
+      << "routing must not drop the true polyonymous pair";
+}
+
+// Dataset-level: exhaustive routing is recall-preserving across worker
+// threads for the headline selector.
+TEST(RouterDifferentialTest, DatasetEvalExhaustiveMatchesRouterOff) {
+  sim::Dataset dataset =
+      sim::MakeDataset(sim::DatasetProfile::kKittiLike, 2, /*seed=*/13);
+  track::SortTracker tracker;
+  PipelineConfig config;
+  config.window.single_window = true;
+  std::vector<PreparedVideo> prepared =
+      PrepareDataset(dataset, tracker, config);
+
+  TMergeSelector selector;
+  SelectorOptions options;
+  options.seed = 3;
+  EvalResult reference = EvaluateDataset(prepared, selector, options, 1);
+
+  options.index.router = true;
+  options.index.router_exhaustive = true;
+  for (int threads : {1, 8}) {
+    EvalResult eval = EvaluateDataset(prepared, selector, options, threads);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(eval.rec, reference.rec) << label;
+    EXPECT_EQ(eval.pairs, reference.pairs) << label;
+    EXPECT_EQ(eval.truth_pairs, reference.truth_pairs) << label;
+    EXPECT_EQ(eval.hits, reference.hits) << label;
+    EXPECT_EQ(eval.candidates, reference.candidates) << label;
+  }
+}
+
+}  // namespace
+}  // namespace tmerge::merge

@@ -1,0 +1,243 @@
+// CoarseClusterIndex (DESIGN.md §15.3): the router's determinism contract
+// — identical stores build identical centroids and assignments, rebuilds
+// happen on the documented cadence, nearest-cluster ranking is a strict
+// (distance, id) total order, and none of it depends on the kernel
+// dispatch level.
+
+#include "tmerge/reid/candidate_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tmerge/core/rng.h"
+#include "tmerge/reid/distance_kernels.h"
+#include "tmerge/reid/feature.h"
+#include "tmerge/reid/feature_store.h"
+
+namespace tmerge::reid {
+namespace {
+
+constexpr std::size_t kDim = 8;
+
+/// Fills `store` with `rows` features drawn near a handful of well
+/// separated centers — clustered data so Lloyd has real structure to find.
+void FillClustered(FeatureStore& store, std::size_t rows,
+                   std::uint64_t seed) {
+  core::Rng rng(seed);
+  constexpr std::size_t kCenters = 5;
+  std::vector<FeatureVector> centers;
+  for (std::size_t c = 0; c < kCenters; ++c) {
+    FeatureVector center(kDim);
+    for (double& x : center) x = rng.Normal(0.0, 4.0);
+    centers.push_back(center);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    FeatureVector row = centers[i % kCenters];
+    for (double& x : row) x += rng.Normal(0.0, 0.2);
+    store.Append(row);
+  }
+}
+
+std::vector<std::int32_t> AllAssignments(const CoarseClusterIndex& index) {
+  std::vector<std::int32_t> out;
+  out.reserve(index.assigned_rows());
+  for (std::size_t row = 0; row < index.assigned_rows(); ++row) {
+    out.push_back(
+        index.AssignmentOf(FeatureRef{static_cast<std::uint32_t>(row)}));
+  }
+  return out;
+}
+
+TEST(CoarseClusterIndexTest, EmptyStoreLeavesIndexUnbuilt) {
+  FeatureStore store;
+  CoarseClusterIndex index;
+  index.Ensure(store);
+  EXPECT_FALSE(index.built());
+  EXPECT_EQ(index.num_clusters(), 0);
+  EXPECT_EQ(index.assigned_rows(), 0u);
+}
+
+TEST(CoarseClusterIndexTest, BuildsDeterministically) {
+  ClusterIndexOptions options;
+  options.clusters = 8;
+  FeatureStore store_a, store_b;
+  FillClustered(store_a, 300, /*seed=*/71);
+  FillClustered(store_b, 300, /*seed=*/71);
+  CoarseClusterIndex index_a(options), index_b(options);
+  index_a.Ensure(store_a);
+  index_b.Ensure(store_b);
+
+  ASSERT_TRUE(index_a.built());
+  ASSERT_EQ(index_a.num_clusters(), index_b.num_clusters());
+  EXPECT_EQ(AllAssignments(index_a), AllAssignments(index_b));
+  for (std::int32_t c = 0; c < index_a.num_clusters(); ++c) {
+    EXPECT_EQ(std::memcmp(index_a.Centroid(c), index_b.Centroid(c),
+                          kDim * sizeof(double)),
+              0)
+        << "centroid " << c;
+  }
+}
+
+TEST(CoarseClusterIndexTest, ClusterCountCappedByStoredRows) {
+  FeatureStore store;
+  FillClustered(store, 5, /*seed=*/72);
+  CoarseClusterIndex index;  // Default asks for 64 clusters.
+  index.Ensure(store);
+  EXPECT_EQ(index.num_clusters(), 5);
+  EXPECT_EQ(index.assigned_rows(), 5u);
+}
+
+// The rebuild cadence: rows appended within rebuild_interval of the last
+// build are assigned incrementally against frozen centroids; crossing the
+// interval triggers a rebuild on the next Ensure.
+TEST(CoarseClusterIndexTest, IncrementalAssignThenRebuildOnInterval) {
+  ClusterIndexOptions options;
+  options.clusters = 8;
+  options.rebuild_interval = 100;
+  FeatureStore store;
+  FillClustered(store, 50, /*seed=*/73);
+  CoarseClusterIndex index(options);
+  index.Ensure(store);
+  ASSERT_EQ(index.rebuilds(), 1);
+
+  std::vector<double> frozen(index.Centroid(0), index.Centroid(0) + kDim);
+  FillClustered(store, 99, /*seed=*/74);  // Below the interval.
+  index.Ensure(store);
+  EXPECT_EQ(index.rebuilds(), 1);
+  EXPECT_EQ(index.assigned_rows(), 149u);
+  EXPECT_EQ(std::memcmp(index.Centroid(0), frozen.data(),
+                        kDim * sizeof(double)),
+            0)
+      << "incremental assignment must not move centroids";
+
+  FillClustered(store, 1, /*seed=*/75);  // Crosses the interval.
+  index.Ensure(store);
+  EXPECT_EQ(index.rebuilds(), 2);
+  EXPECT_EQ(index.assigned_rows(), 150u);
+}
+
+// Every assignment — from the rebuild pass and from the incremental path
+// alike — is the row's nearest centroid under the (distance, id) order.
+TEST(CoarseClusterIndexTest, AssignmentIsNearestCentroid) {
+  ClusterIndexOptions options;
+  options.clusters = 8;
+  options.rebuild_interval = 1000;
+  FeatureStore store;
+  FillClustered(store, 120, /*seed=*/76);
+  CoarseClusterIndex index(options);
+  index.Ensure(store);
+  FillClustered(store, 30, /*seed=*/77);  // Incrementally assigned.
+  index.Ensure(store);
+
+  std::vector<std::int32_t> nearest;
+  for (std::size_t row = 0; row < store.size(); ++row) {
+    const FeatureRef ref{static_cast<std::uint32_t>(row)};
+    index.NearestClusters(store.View(ref), 1, &nearest);
+    ASSERT_EQ(nearest.size(), 1u);
+    EXPECT_EQ(index.AssignmentOf(ref), nearest.front()) << "row " << row;
+  }
+}
+
+TEST(CoarseClusterIndexTest, NearestClustersAscendByDistanceThenId) {
+  FeatureStore store;
+  FillClustered(store, 200, /*seed=*/78);
+  CoarseClusterIndex index;
+  index.Ensure(store);
+  const FeatureRef probe_ref{3};
+  const FeatureView query = store.View(probe_ref);
+
+  std::vector<std::int32_t> probed;
+  index.NearestClusters(query, index.num_clusters() / 2, &probed);
+  ASSERT_EQ(probed.size(),
+            static_cast<std::size_t>(index.num_clusters() / 2));
+  auto distance_to = [&](std::int32_t c) {
+    return kernels::SquaredDistance(query.data, index.Centroid(c),
+                                    index.dim());
+  };
+  for (std::size_t i = 1; i < probed.size(); ++i) {
+    const double prev = distance_to(probed[i - 1]);
+    const double cur = distance_to(probed[i]);
+    EXPECT_TRUE(prev < cur || (prev == cur && probed[i - 1] < probed[i]))
+        << "i=" << i;
+  }
+  // The returned prefix really is the minimum: every unprobed cluster
+  // ranks at or after the last probed one.
+  const double last = distance_to(probed.back());
+  for (std::int32_t c = 0; c < index.num_clusters(); ++c) {
+    if (std::find(probed.begin(), probed.end(), c) != probed.end()) continue;
+    EXPECT_GE(distance_to(c), last) << "cluster " << c;
+  }
+}
+
+// probes >= num_clusters is the exhaustive-fallback mode: every cluster
+// comes back, so the router admits every pair.
+TEST(CoarseClusterIndexTest, ExhaustiveProbesReturnEveryCluster) {
+  FeatureStore store;
+  FillClustered(store, 100, /*seed=*/79);
+  CoarseClusterIndex index;
+  index.Ensure(store);
+  std::vector<std::int32_t> probed;
+  index.NearestClusters(store.View(FeatureRef{0}),
+                        index.num_clusters() + 10, &probed);
+  ASSERT_EQ(probed.size(), static_cast<std::size_t>(index.num_clusters()));
+  std::vector<std::int32_t> sorted = probed;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int32_t c = 0; c < index.num_clusters(); ++c) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(c)], c);
+  }
+}
+
+// Routing decisions cannot depend on the host's SIMD tier: a build at the
+// scalar level and one at the best supported level produce the same
+// centroid bits and the same assignments (§15.3 — the distances compared
+// are bit-identical at every level).
+TEST(CoarseClusterIndexTest, BuildIsKernelLevelInvariant) {
+  const kernels::KernelLevel saved = kernels::CurrentKernelLevel();
+  ClusterIndexOptions options;
+  options.clusters = 8;
+
+  FeatureStore store;
+  FillClustered(store, 300, /*seed=*/80);
+
+  ASSERT_TRUE(kernels::SetKernelLevel(kernels::KernelLevel::kScalar));
+  CoarseClusterIndex scalar_index(options);
+  scalar_index.Ensure(store);
+
+  ASSERT_TRUE(kernels::SetKernelLevel(kernels::DetectedKernelLevel()));
+  CoarseClusterIndex best_index(options);
+  best_index.Ensure(store);
+  kernels::SetKernelLevel(saved);
+
+  ASSERT_EQ(scalar_index.num_clusters(), best_index.num_clusters());
+  EXPECT_EQ(AllAssignments(scalar_index), AllAssignments(best_index));
+  for (std::int32_t c = 0; c < scalar_index.num_clusters(); ++c) {
+    EXPECT_EQ(std::memcmp(scalar_index.Centroid(c), best_index.Centroid(c),
+                          kDim * sizeof(double)),
+              0)
+        << "centroid " << c;
+  }
+}
+
+TEST(CoarseClusterIndexTest, ClearResetsEverything) {
+  FeatureStore store;
+  FillClustered(store, 50, /*seed=*/81);
+  CoarseClusterIndex index;
+  index.Ensure(store);
+  ASSERT_TRUE(index.built());
+  index.Clear();
+  EXPECT_FALSE(index.built());
+  EXPECT_EQ(index.num_clusters(), 0);
+  EXPECT_EQ(index.assigned_rows(), 0u);
+  EXPECT_EQ(index.rebuilds(), 0);
+  // A fresh Ensure rebuilds from scratch.
+  index.Ensure(store);
+  EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.rebuilds(), 1);
+}
+
+}  // namespace
+}  // namespace tmerge::reid
